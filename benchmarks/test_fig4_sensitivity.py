@@ -1,0 +1,41 @@
+"""Figure 4: sensitivity of importance measurements to training-set size.
+
+Left panel: IoU similarity of the top-5 knobs against the full-pool
+baseline; right panel: surrogate R² on held-out samples.  Paper shape:
+Gini is most stable, ablation least; Lasso's model fits worst but is
+stable.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import importance_sensitivity
+
+
+def test_fig4_sensitivity_analysis(benchmark, scale):
+    sizes = (100, 200, 400, 800)
+    results = run_once(
+        benchmark,
+        lambda: importance_sensitivity(
+            workload="SYSBENCH", sample_sizes=sizes, n_repeats=3, scale=scale
+        ),
+    )
+    rows = []
+    for name, points in results.items():
+        for p in points:
+            rows.append((name, p.n_samples, p.similarity, p.r2))
+    print()
+    print(
+        format_table(
+            ["Measurement", "#Samples", "Top-5 IoU similarity", "Holdout R2"],
+            rows,
+            title="Figure 4: sensitivity analysis",
+        )
+    )
+    # Shape: the linear Lasso model explains the surface worse than the
+    # tree-based surrogates at the largest sample size.
+    last = {name: points[-1] for name, points in results.items()}
+    assert last["lasso"].r2 < max(last["gini"].r2, last["shap"].r2)
+    # Similarities are proper fractions.
+    for points in results.values():
+        assert all(0.0 <= p.similarity <= 1.0 for p in points)

@@ -1,0 +1,46 @@
+"""Figure 5: improvement and tuning cost vs number of tuned knobs.
+
+Paper shape: JOB improvement is flat with rising cost; SYSBENCH
+improvement grows with the knob count before declining at the full space,
+so the improvement-maximizing count is intermediate.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import knob_count_sweep
+
+
+def test_fig5_knob_count_tradeoff(benchmark, scale):
+    points = run_once(
+        benchmark,
+        lambda: knob_count_sweep(
+            workloads=("SYSBENCH", "JOB"),
+            knob_counts=(5, 10, 20, 50, 197),
+            scale=scale,
+        ),
+    )
+    print()
+    print(
+        format_table(
+            ["Workload", "#Knobs", "Improvement %", "Tuning cost (iters)"],
+            [
+                (p.workload, p.n_knobs, 100.0 * p.improvement, p.tuning_cost_iterations)
+                for p in points
+            ],
+            title="Figure 5: improvement and cost vs number of tuning knobs",
+        )
+    )
+    sys_points = {p.n_knobs: p for p in points if p.workload == "SYSBENCH"}
+    job_points = {p.n_knobs: p for p in points if p.workload == "JOB"}
+    # SYSBENCH: improvement grows with the knob count over the pre-selected
+    # range (the paper's eventual decline at 197 appears at its 600-iteration
+    # budget; see EXPERIMENTS.md).
+    assert sys_points[20].improvement > sys_points[5].improvement
+    # JOB: a small knob set already captures most of the headroom, and the
+    # full space costs more tuning iterations for less improvement.
+    assert job_points[5].improvement > 0.5 * max(p.improvement for p in job_points.values())
+    assert job_points[197].tuning_cost_iterations >= max(
+        p.tuning_cost_iterations for p in job_points.values() if p.n_knobs <= 20
+    )
+    assert job_points[197].improvement <= max(p.improvement for p in job_points.values())

@@ -1,0 +1,34 @@
+"""Figure 6: incremental knob selection vs fixed top-5/top-20 baselines.
+
+Paper shape: for JOB nothing beats fixed top-5; for SYSBENCH increasing
+the knob count performs well while decreasing limits the eventual gain.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import incremental_comparison
+
+
+def test_fig6_incremental_knob_selection(benchmark, scale):
+    results = run_once(
+        benchmark,
+        lambda: incremental_comparison(workloads=("SYSBENCH", "JOB"), scale=scale),
+    )
+    print()
+    print(
+        format_table(
+            ["Workload", "Strategy", "Final improvement %"],
+            [(r.workload, r.strategy, 100.0 * r.final_improvement) for r in results],
+            title="Figure 6: incremental knob selection (final best)",
+        )
+    )
+    by_key = {(r.workload, r.strategy): r for r in results}
+    # Trajectories are monotone non-decreasing best-so-far curves.
+    for r in results:
+        assert all(b >= a - 1e-9 for a, b in zip(r.trajectory, r.trajectory[1:]))
+    # SYSBENCH: increasing reaches at least the decreasing strategy's level.
+    assert (
+        by_key[("SYSBENCH", "increasing")].final_improvement
+        >= by_key[("SYSBENCH", "decreasing")].final_improvement - 0.25
+    )

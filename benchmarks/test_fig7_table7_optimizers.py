@@ -1,0 +1,54 @@
+"""Figure 7 + Table 7: the seven optimizers over three space sizes.
+
+Paper shape: SMAC has the best overall ranking and dominates the large
+space; mixed-kernel BO is strong on small/medium; TPE and GA trail;
+global GP methods degrade as dimensionality grows.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import optimizer_comparison
+
+
+def test_fig7_table7_optimizer_comparison(benchmark, scale):
+    result = run_once(
+        benchmark,
+        lambda: optimizer_comparison(workloads=("SYSBENCH", "JOB"), scale=scale),
+    )
+    print()
+    print(
+        format_table(
+            ["Workload", "Space", "Optimizer", "Improvement %"],
+            [
+                (r.workload, r.space_size, r.optimizer, 100.0 * r.improvement)
+                for r in result.rows
+            ],
+            title="Figure 7: best improvement per optimizer and space size",
+        )
+    )
+    sizes = ["small", "medium", "large", "overall"]
+    optimizers = sorted(result.rankings["overall"], key=result.rankings["overall"].get)
+    print()
+    print(
+        format_table(
+            ["Optimizer"] + sizes,
+            [
+                [name] + [result.rankings[s].get(name, float("nan")) for s in sizes]
+                for name in optimizers
+            ],
+            title="Table 7: average ranking of optimizers (lower is better)",
+        )
+    )
+    overall = result.rankings["overall"]
+    # Shape assertion at any scale: the best of the paper's two leaders
+    # (SMAC, mixed-kernel BO) outranks every other optimizer overall.
+    leader = min(overall["smac"], overall["mixed_kernel_bo"])
+    assert leader == min(overall.values())
+    if os.environ.get("REPRO_SCALE", "").lower() == "paper":
+        # The finer Table 7 claims need the paper's budget (3 x 200
+        # iterations); at bench scale the mid-field ordering is noise.
+        assert overall["smac"] < overall["ga"]
+        assert overall["smac"] < overall["tpe"]

@@ -1,0 +1,42 @@
+"""Figure 9: per-iteration algorithm overhead over the medium JOB space.
+
+Paper shape: GP-based optimizers (vanilla/mixed-kernel BO) show cubic
+overhead growth with iteration count; GA is cheapest; SMAC, TPE, DDPG
+stay near-constant; TuRBO is comparable to SMAC.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import overhead_comparison
+
+
+def test_fig9_algorithm_overhead(benchmark, scale):
+    checkpoints = (50, 100, 150, 200)
+    rows = run_once(
+        benchmark,
+        lambda: overhead_comparison(
+            workload="JOB", checkpoints=checkpoints, scale=scale
+        ),
+    )
+    print()
+    print(
+        format_table(
+            ["Optimizer"] + [f"iter {c} (s)" for c in checkpoints] + ["total (s)"],
+            [
+                [r.optimizer]
+                + [r.checkpoints.get(c, float("nan")) for c in checkpoints]
+                + [r.total_seconds]
+                for r in rows
+            ],
+            title="Figure 9: algorithm overhead per iteration",
+        )
+    )
+    by_name = {r.optimizer: r for r in rows}
+    cps = sorted(by_name["vanilla_bo"].checkpoints)
+    first, last = cps[0], cps[-1]
+    # GP overhead grows substantially with history size...
+    assert by_name["vanilla_bo"].checkpoints[last] > 2.0 * by_name["vanilla_bo"].checkpoints[first]
+    # ...while GA stays cheap, and far below the GP methods in total.
+    assert by_name["ga"].total_seconds < 0.2 * by_name["vanilla_bo"].total_seconds
+    assert by_name["ga"].total_seconds < 0.2 * by_name["mixed_kernel_bo"].total_seconds

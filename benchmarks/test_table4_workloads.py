@@ -1,0 +1,19 @@
+"""Table 4: workload profiles (class, size, tables, read-only fraction)."""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.workloads import workload_table
+
+
+def test_table4_workload_profiles(benchmark):
+    rows = run_once(benchmark, workload_table)
+    print()
+    print(
+        format_table(
+            ["Workload", "Class", "Size", "Table", "Read-Only Txns"],
+            rows,
+            title="Table 4: Profile information for workloads",
+        )
+    )
+    assert len(rows) == 9

@@ -1,0 +1,49 @@
+"""Table 6 + Figure 3: importance-measurement comparison.
+
+Figure 3 bars: tuning improvement over the top-5/top-20 knob sets chosen
+by each measurement, per workload and optimizer.  Table 6: each
+measurement's average rank across all settings (paper: SHAP 1.13 best,
+ablation 4.30 worst).
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import importance_comparison
+
+
+def test_table6_fig3_importance_measurements(benchmark, scale):
+    result = run_once(
+        benchmark,
+        lambda: importance_comparison(
+            workloads=("SYSBENCH", "JOB"),
+            top_ks=(5, 20),
+            optimizers=("vanilla_bo", "ddpg"),
+            scale=scale,
+        ),
+    )
+    print()
+    print(
+        format_table(
+            ["Workload", "Measurement", "Top-k", "Optimizer", "Improvement %"],
+            [
+                (r.workload, r.measurement, r.top_k, r.optimizer, 100.0 * r.improvement)
+                for r in result.rows
+            ],
+            title="Figure 3: improvement on each measurement's knob sets",
+        )
+    )
+    ranking = sorted(result.overall_ranking.items(), key=lambda t: t[1])
+    print()
+    print(
+        format_table(
+            ["Measurement", "Overall ranking"],
+            ranking,
+            title="Table 6: overall performance ranking (lower is better)",
+        )
+    )
+    # Shape assertions (paper): SHAP is the best-ranked measurement and
+    # the tunability-vs-variance split favors SHAP over ablation.
+    assert result.overall_ranking["shap"] <= min(
+        result.overall_ranking[m] for m in ("lasso", "ablation")
+    )

@@ -1,0 +1,70 @@
+"""Table 8: knowledge-transfer frameworks (speedup, PE, absolute rank).
+
+Paper shape: RGPE transfers positively and has the best absolute
+performance (RGPE(SMAC) best overall); workload mapping can transfer
+negatively; fine-tuned DDPG is unstable but roughly neutral-positive.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.experiments import transfer_comparison
+
+
+def test_table8_transfer_frameworks(benchmark, scale):
+    result = run_once(benchmark, lambda: transfer_comparison(scale=scale))
+    print()
+    print(
+        format_table(
+            ["Target", "Framework", "Base", "Speedup", "PE %", "Best score"],
+            [
+                (
+                    r.target,
+                    r.framework,
+                    r.base,
+                    float("nan") if r.speedup is None else r.speedup,
+                    100.0 * r.performance_enhancement,
+                    r.best_score,
+                )
+                for r in result.rows
+            ],
+            title="Table 8: evaluation results for transfer frameworks",
+        )
+    )
+    avg = result.absolute_rankings["avg"]
+    print()
+    print(
+        format_table(
+            ["Method", "Avg absolute rank"],
+            sorted(avg.items(), key=lambda t: t[1]),
+            title="Table 8 (right): absolute performance ranking",
+        )
+    )
+    def mean_pe(framework, base):
+        vals = [
+            r.performance_enhancement
+            for r in result.rows
+            if r.framework == framework and r.base == base
+        ]
+        return sum(vals) / len(vals)
+
+    def min_pe(framework):
+        return min(
+            r.performance_enhancement for r in result.rows if r.framework == framework
+        )
+
+    # Shape at any scale: RGPE never transfers catastrophically (adaptive
+    # weights), while fine-tuned DDPG is unstable and can be negative.
+    assert min_pe("rgpe") > -0.10
+    assert mean_pe("rgpe", "smac") > mean_pe("fine-tune", "ddpg")
+    assert mean_pe("rgpe", "mixed_kernel_bo") > mean_pe("fine-tune", "ddpg")
+    # RGPE achieves real speedups on most targets.
+    rgpe_speedups = [r.speedup for r in result.rows if r.framework == "rgpe"]
+    assert sum(1 for s in rgpe_speedups if s is not None and s > 1.0) >= 3
+    if os.environ.get("REPRO_SCALE", "").lower() == "paper":
+        # The paper's finer claim — RGPE beats workload mapping — needs
+        # the full budget and more heterogeneous source/target pairs.
+        assert mean_pe("rgpe", "smac") >= mean_pe("mapping", "smac") - 0.02
+        assert sorted(avg, key=avg.get).index("rgpe(smac)") <= 1

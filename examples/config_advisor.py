@@ -1,0 +1,61 @@
+"""Static configuration review plus latency-percentile reporting.
+
+Shows two operator-facing utilities that complement the tuning pipeline:
+the configuration advisor (pt-variable-advisor style static checks) and
+transaction-trace synthesis for p95/p99 latency reporting.
+
+Usage::
+
+    python examples/config_advisor.py
+"""
+
+from repro.dbms import MySQLServer, lint_configuration, mysql_knob_space
+from repro.workloads import get_workload
+from repro.workloads.trace import synthesize_trace
+
+GB = 1024**3
+MB = 1024**2
+
+
+def main() -> None:
+    space = mysql_knob_space("B", seed=0)
+    workload = get_workload("TPC-C")
+    server = MySQLServer("TPC-C", "B", noise=False)
+
+    print("Reviewing a plausible-looking but flawed configuration ...\n")
+    risky = space.default_configuration().with_values(
+        innodb_buffer_pool_size=14 * GB,      # too close to RAM with 64 conns
+        sort_buffer_size=64 * MB,             # per-connection!
+        query_cache_type="ON",
+        query_cache_size=512 * MB,
+        innodb_flush_log_at_trx_commit="0",
+        max_connections=32,
+        general_log="ON",
+    )
+    for advice in lint_configuration(risky, "B", workload):
+        print(f"  {advice}")
+
+    print("\nWhat actually happens when we run it:")
+    result = server.evaluate(risky)
+    if result.failed:
+        print(f"  stress test FAILED: {result.failure_reason}")
+    else:
+        print(f"  throughput {result.objective:.0f} txn/s")
+
+    print("\nNow a sane configuration, with its latency percentiles:")
+    sane = space.default_configuration().with_values(
+        innodb_flush_log_at_trx_commit="0",
+        innodb_log_file_size=4 * GB,
+        innodb_io_capacity=8000,
+    )
+    for advice in lint_configuration(sane, "B", workload):
+        print(f"  {advice}")
+    result = server.evaluate(sane)
+    trace = synthesize_trace(result, workload, seed=0)
+    print(f"\n  throughput {result.objective:.0f} txn/s")
+    for q in (50, 95, 99):
+        print(f"  p{q} latency {trace.percentile(q):7.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

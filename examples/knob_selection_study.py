@@ -1,0 +1,56 @@
+"""Knob selection: which of the 197 MySQL knobs deserve tuning?
+
+Collects an LHS sample pool over the full 197-knob space, ranks knobs
+with a tunability-based measurement (SHAP) and a variance-based one
+(Gini score), and shows the paper's key phenomenon: variance-based
+measurements promote *trap knobs* — high-variance knobs such as
+``max_connections`` or the query cache whose defaults are already
+optimal — while SHAP demotes them.
+
+Usage::
+
+    python examples/knob_selection_study.py [n_samples]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.dbms import MySQLServer, mysql_knob_space
+from repro.selection import GiniImportance, ShapImportance, collect_samples
+
+TRAPS = {"max_connections", "query_cache_type", "query_cache_size", "general_log", "big_tables"}
+
+
+def main(n_samples: int = 800) -> None:
+    space = mysql_knob_space("B", seed=0)
+    server = MySQLServer("SYSBENCH", "B", seed=9)
+    print(f"Collecting {n_samples} LHS samples over the 197-knob space ...")
+    configs, scores, default_score = collect_samples(server, space, n_samples, seed=11)
+    better = sum(s > default_score for s in scores)
+    print(f"  {better}/{len(scores)} samples beat the default; "
+          f"{server.n_failures} crashed (memory overcommit)")
+
+    shap = ShapImportance(space, seed=5)
+    gini = GiniImportance(space, seed=5)
+    shap_rank = shap.rank(configs, scores, default_score=default_score)
+    gini_rank = gini.rank(configs, scores, default_score=default_score)
+
+    rows = []
+    for i in range(15):
+        rows.append((i + 1, shap_rank.ranked()[i], gini_rank.ranked()[i]))
+    print()
+    print(format_table(["Rank", "SHAP (tunability)", "Gini (variance)"], rows,
+                       title="Top-15 knobs per measurement"))
+
+    shap_list, gini_list = shap_rank.ranked(), gini_rank.ranked()
+    print("\nTrap-knob positions (lower = ranked more important):")
+    for trap in sorted(TRAPS):
+        print(f"  {trap:25s} SHAP #{shap_list.index(trap) + 1:<4d} "
+              f"Gini #{gini_list.index(trap) + 1}")
+    print("\nSHAP pushes traps down because changing them from the default "
+          "never improves performance — the paper's reason to prefer "
+          "tunability-based selection (Table 6).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 800)

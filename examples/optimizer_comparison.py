@@ -1,0 +1,64 @@
+"""Compare all seven configuration optimizers on the analytical workload.
+
+Tunes JOB's 95%-quantile latency over a 20-knob heterogeneous space with
+every optimizer from the paper's Table 3 and prints the best-found
+latency and per-iteration algorithm overhead — a miniature of Figure 7
+and Figure 9 combined.
+
+Usage::
+
+    python examples/optimizer_comparison.py [iterations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.dbms import MySQLServer
+from repro.experiments.spaces import paper_spaces
+from repro.optimizers import OPTIMIZER_REGISTRY
+from repro.tuning import DatabaseObjective, TuningSession, improvement_over_default
+
+OPTIMIZERS = ("vanilla_bo", "mixed_kernel_bo", "smac", "tpe", "turbo", "ddpg", "ga")
+
+
+def main(iterations: int = 60) -> None:
+    print("Deriving the SHAP-ranked medium space for JOB ...")
+    space = paper_spaces("JOB", n_samples=600, seed=17)["medium"]
+    print(f"  tuning {space.n_dims} knobs, "
+          f"{int(space.categorical_mask.sum())} of them categorical\n")
+
+    rows = []
+    for name in OPTIMIZERS:
+        server = MySQLServer("JOB", "B", seed=100)
+        objective = DatabaseObjective(server, space)
+        optimizer = OPTIMIZER_REGISTRY[name](space, seed=7)
+        session = TuningSession(
+            objective, optimizer, space, max_iterations=iterations, n_initial=10, seed=3
+        )
+        history = session.run()
+        best = history.best()
+        improvement = improvement_over_default(
+            best.objective, server.default_objective(), "min"
+        )
+        overhead = np.mean([o.suggest_seconds for o in history][10:])
+        rows.append(
+            (name, best.objective, 100.0 * improvement, 1000.0 * overhead)
+        )
+        print(f"  {name:16s} best 95% latency {best.objective:7.1f}s "
+              f"({improvement * 100:+.1f}%)")
+
+    rows.sort(key=lambda r: r[1])
+    print()
+    print(
+        format_table(
+            ["Optimizer", "Best latency (s)", "Improvement %", "Overhead (ms/iter)"],
+            rows,
+            title=f"JOB, medium space, {iterations} iterations",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60)

@@ -1,0 +1,70 @@
+"""The Section 8 surrogate tuning benchmark, end to end.
+
+Collects an offline sample pool for SYSBENCH, compares the six candidate
+regressors (Table 9), packages the random-forest winner as a cheap
+objective, tunes against it, and reports the session-level speedup over a
+real testbed.
+
+Usage::
+
+    python examples/surrogate_benchmark.py [n_samples]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.dbms import MySQLServer
+from repro.experiments.spaces import paper_spaces
+from repro.optimizers import SMAC
+from repro.selection import collect_samples
+from repro.surrogate import SurrogateBenchmark, compare_surrogate_models
+from repro.tuning import TuningSession, improvement_over_default
+
+
+def main(n_samples: int = 800) -> None:
+    space = paper_spaces("SYSBENCH", n_samples=600, seed=17)["medium"]
+    server = MySQLServer("SYSBENCH", "B", seed=3)
+
+    print(f"Collecting {n_samples} offline samples (the paper's 6250-sample "
+          f"pool took ~13 days of stress testing) ...")
+    configs, scores, __ = collect_samples(server, space, n_samples, seed=3)
+    X = space.encode_many(configs)
+    y = np.asarray(scores)
+
+    print("Cross-validating the candidate surrogate models (Table 9) ...")
+    results = compare_surrogate_models(X, y, n_splits=5, seed=3)
+    print()
+    print(format_table(
+        ["Model", "RMSE (txn/s)", "R2"],
+        [(r.name, r.rmse, r.r2) for r in results],
+        title="Candidate regressors, 5-fold CV",
+    ))
+
+    print("\nBuilding the RF-backed tuning benchmark and running SMAC on it ...")
+    bench = SurrogateBenchmark.build("SYSBENCH", space, n_samples=n_samples, seed=3)
+    objective = bench.objective()
+    wall_start = time.perf_counter()
+    session = TuningSession(
+        objective, SMAC(space, seed=0), space, max_iterations=100, n_initial=10, seed=0
+    )
+    history = session.run()
+    wall = time.perf_counter() - wall_start
+
+    improvement = improvement_over_default(
+        history.best().objective, bench.default_objective, bench.direction
+    )
+    overhead = sum(o.suggest_seconds for o in history)
+    real_session_h = 100 * (35 + 180) / 3600.0
+    print(f"\nbest predicted throughput : {history.best().objective:.0f} txn/s "
+          f"({improvement * 100:+.1f}% over default)")
+    print(f"benchmark session wall time: {wall:.1f}s "
+          f"(optimizer overhead {overhead:.1f}s)")
+    print(f"equivalent real-testbed session: ~{real_session_h:.1f} hours "
+          f"-> {real_session_h * 3600 / max(wall, 1e-9):.0f}x speedup")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 800)

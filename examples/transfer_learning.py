@@ -1,0 +1,86 @@
+"""Knowledge transfer: speed up TPC-C tuning with historical OLTP data.
+
+Pre-trains a DDPG agent on source workloads (gathering their observations
+as historical data), then compares tuning TPC-C from scratch against the
+three transfer frameworks of the paper's Section 7: RGPE, workload
+mapping, and fine-tuning.
+
+Usage::
+
+    python examples/transfer_learning.py [iterations]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.dbms import MySQLServer
+from repro.experiments.spaces import transfer_space
+from repro.optimizers import SMAC
+from repro.transfer import (
+    MappedOptimizer,
+    RGPESMAC,
+    fine_tuned_ddpg,
+    pretrain_ddpg,
+)
+from repro.tuning import (
+    DatabaseObjective,
+    TuningSession,
+    performance_enhancement,
+    speedup,
+)
+
+SOURCES = ["SEATS", "Voter", "TATP", "Smallbank", "SIBench"]
+
+
+def run(optimizer, space, iterations, seed=5):
+    server = MySQLServer("TPC-C", "B", seed=seed)
+    session = TuningSession(
+        DatabaseObjective(server, space), optimizer, space,
+        max_iterations=iterations, n_initial=10, seed=seed,
+    )
+    return session.run()
+
+
+def main(iterations: int = 50) -> None:
+    print("Selecting the cross-OLTP top-20 knob space ...")
+    space = transfer_space(n_samples=600, seed=17)
+    print(f"Pre-training DDPG on {len(SOURCES)} source workloads "
+          f"(this also collects the historical observations) ...")
+    agent, repository = pretrain_ddpg(
+        space, SOURCES, iterations_per_source=40, seed=1
+    )
+
+    print(f"Tuning TPC-C for {iterations} iterations per method ...\n")
+    base = run(SMAC(space, seed=2), space, iterations)
+    candidates = {
+        "RGPE(SMAC)": run(RGPESMAC(space, repository, seed=2), space, iterations),
+        "Mapping(SMAC)": run(
+            MappedOptimizer(SMAC(space, seed=2), repository), space, iterations
+        ),
+        "Fine-tune(DDPG)": run(fine_tuned_ddpg(space, agent, seed=2), space, iterations),
+    }
+
+    rows = [("SMAC (no transfer)", base.best().score, "-", "-")]
+    for name, history in candidates.items():
+        eta = speedup(base, history)
+        pe = performance_enhancement(history.best().score, base.best().score)
+        rows.append(
+            (
+                name,
+                history.best().score,
+                "x" if eta is None else f"{eta:.2f}",
+                f"{pe * 100:+.2f}%",
+            )
+        )
+    print(format_table(
+        ["Method", "Best throughput", "Speedup", "Perf. enhancement"],
+        rows,
+        title="Transfer frameworks on TPC-C (paper Table 8 style)",
+    ))
+    print("\nRGPE weights adapt per-iteration, so dissimilar sources are "
+          "down-weighted — the paper's explanation for why it avoids the "
+          "negative transfer that can hit workload mapping.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 50)

@@ -1,0 +1,39 @@
+"""dbtune-repro: reproduction of "Facilitating Database Tuning with
+Hyper-Parameter Optimization: A Comprehensive Experimental Evaluation"
+(Zhang et al., VLDB 2022).
+
+The package mirrors the paper's three-module pipeline:
+
+- :mod:`repro.selection` — knob selection (importance measurements),
+- :mod:`repro.optimizers` — configuration optimization,
+- :mod:`repro.transfer` — knowledge transfer,
+
+built on top of from-scratch substrates:
+
+- :mod:`repro.space` — heterogeneous configuration spaces,
+- :mod:`repro.ml` — regression/ML models (GP, forests, Lasso, MLP, ...),
+- :mod:`repro.dbms` — an analytical MySQL 5.7 simulator,
+- :mod:`repro.workloads` — the paper's nine workloads,
+- :mod:`repro.tuning` — tuning sessions and evaluation metrics,
+- :mod:`repro.surrogate` — the surrogate tuning benchmark of Section 8,
+- :mod:`repro.analysis` — sensitivity and overhead analyses.
+"""
+
+from repro.space import (
+    CategoricalKnob,
+    Configuration,
+    ConfigurationSpace,
+    ContinuousKnob,
+    IntegerKnob,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CategoricalKnob",
+    "Configuration",
+    "ConfigurationSpace",
+    "ContinuousKnob",
+    "IntegerKnob",
+    "__version__",
+]

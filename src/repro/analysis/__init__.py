@@ -1,0 +1,12 @@
+"""Evaluation analyses: sensitivity, overhead, and report formatting."""
+
+from repro.analysis.overhead import overhead_at_checkpoints
+from repro.analysis.report import format_table
+from repro.analysis.sensitivity import SensitivityPoint, sensitivity_analysis
+
+__all__ = [
+    "SensitivityPoint",
+    "format_table",
+    "overhead_at_checkpoints",
+    "sensitivity_analysis",
+]

@@ -1,0 +1,57 @@
+"""Terminal charts for figure-style bench output.
+
+The paper's figures are best-performance-over-iteration curves; these
+helpers render them as compact ASCII so bench logs remain self-contained.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: Sequence[float], width: int = 60) -> str:
+    """Render a numeric series as a one-line unicode sparkline."""
+    values = [float(v) for v in series if not math.isnan(float(v))]
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by block max so the envelope is preserved.
+        block = len(values) / width
+        values = [
+            max(values[int(i * block) : max(int((i + 1) * block), int(i * block) + 1)])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BARS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BARS) - 1))
+        out.append(_BARS[idx])
+    return "".join(out)
+
+
+def trajectory_chart(
+    series_by_name: Mapping[str, Sequence[float]],
+    width: int = 60,
+    value_format: str = "{:.0f}",
+) -> str:
+    """Render several best-so-far trajectories as labelled sparklines.
+
+    Each line shows the method name, its sparkline, and the final value —
+    a terminal rendition of the paper's Figure 7/8/10 panels.
+    """
+    if not series_by_name:
+        return ""
+    name_width = max(len(n) for n in series_by_name)
+    lines = []
+    for name, series in series_by_name.items():
+        values = [float(v) for v in series]
+        finite = [v for v in values if not math.isnan(v)]
+        final = value_format.format(finite[-1]) if finite else "-"
+        lines.append(f"{name.ljust(name_width)} |{sparkline(values, width)}| {final}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Algorithm-overhead measurement (paper §6.3, Figure 9).
+
+Overhead is the wall-clock an optimizer spends producing the next
+configuration — model (re)fitting plus acquisition optimization — and is
+recorded per iteration by :class:`~repro.tuning.session.TuningSession`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def overhead_at_checkpoints(
+    suggest_seconds: Sequence[float],
+    checkpoints: Sequence[int] = (50, 100, 200, 400),
+    window: int = 10,
+) -> dict[int, float]:
+    """Mean per-iteration overhead around each checkpoint iteration.
+
+    ``suggest_seconds[i]`` is the overhead at iteration ``i`` (0-based);
+    each checkpoint averages the trailing ``window`` iterations so a
+    single slow fit does not dominate.
+    """
+    times = np.asarray(suggest_seconds, dtype=float)
+    out: dict[int, float] = {}
+    for cp in checkpoints:
+        if cp <= 0 or cp > len(times):
+            continue
+        lo = max(0, cp - window)
+        out[cp] = float(times[lo:cp].mean())
+    return out
+
+
+def cumulative_overhead(suggest_seconds: Sequence[float]) -> float:
+    """Total optimizer time across a session (seconds)."""
+    return float(np.sum(np.asarray(suggest_seconds, dtype=float)))

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tune``
+    Run one tuning session against the simulated DBMS and print the
+    result (optimizer, workload, space size, and budget are selectable).
+``rank``
+    Rank knobs with an importance measurement over a fresh LHS pool.
+``workloads``
+    Print the Table 4 workload profiles.
+``experiment``
+    Regenerate one of the paper's tables/figures at a chosen scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.charts import trajectory_chart
+from repro.analysis.report import format_table
+from repro.dbms.catalog import mysql_knob_space
+from repro.dbms.server import MySQLServer
+from repro.optimizers import OPTIMIZER_REGISTRY
+from repro.selection import MEASUREMENT_REGISTRY, collect_samples
+from repro.tuning import DatabaseObjective, TuningSession, improvement_over_default
+from repro.workloads import ALL_WORKLOADS, workload_table
+
+EXPERIMENTS = (
+    "table6",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table8",
+    "table9",
+    "fig10",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Database-tuning-with-HPO reproduction (VLDB 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="run one tuning session")
+    tune.add_argument("--workload", default="SYSBENCH", choices=sorted(ALL_WORKLOADS))
+    tune.add_argument("--optimizer", default="smac", choices=sorted(OPTIMIZER_REGISTRY))
+    tune.add_argument("--instance", default="B", choices=list("ABCD"))
+    tune.add_argument("--iterations", type=int, default=60)
+    tune.add_argument("--top-knobs", type=int, default=20, dest="top_knobs")
+    tune.add_argument("--pool-samples", type=int, default=600, dest="pool_samples")
+    tune.add_argument("--seed", type=int, default=17)
+
+    rank = sub.add_parser("rank", help="rank knobs by importance")
+    rank.add_argument("--workload", default="SYSBENCH", choices=sorted(ALL_WORKLOADS))
+    rank.add_argument(
+        "--measurement", default="shap", choices=sorted(MEASUREMENT_REGISTRY)
+    )
+    rank.add_argument("--instance", default="B", choices=list("ABCD"))
+    rank.add_argument("--samples", type=int, default=800)
+    rank.add_argument("--top", type=int, default=20)
+    rank.add_argument("--seed", type=int, default=17)
+
+    sub.add_parser("workloads", help="print the Table 4 workload profiles")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=EXPERIMENTS)
+    exp.add_argument("--scale", default="bench", choices=("quick", "bench", "paper"))
+    exp.add_argument("--seed", type=int, default=17)
+
+    return parser
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.experiments.spaces import shap_ranked_knobs
+
+    ranked = shap_ranked_knobs(
+        args.workload, args.instance, n_samples=args.pool_samples, seed=args.seed
+    )
+    space = mysql_knob_space(args.instance, knob_names=ranked[: args.top_knobs], seed=args.seed)
+    server = MySQLServer(args.workload, args.instance, seed=args.seed)
+    optimizer = OPTIMIZER_REGISTRY[args.optimizer](space, seed=args.seed)
+    session = TuningSession(
+        DatabaseObjective(server, space),
+        optimizer,
+        space,
+        max_iterations=args.iterations,
+        n_initial=10,
+        seed=args.seed,
+    )
+    print(
+        f"tuning {args.workload} on instance {args.instance} with "
+        f"{args.optimizer} over {space.n_dims} knobs ..."
+    )
+    history = session.run()
+    best = history.best()
+    direction = server.objective_direction
+    improvement = improvement_over_default(
+        best.objective, server.default_objective(), direction
+    )
+    unit = "s (95% latency)" if direction == "min" else "txn/s"
+    print(f"\nbest objective : {best.objective:.1f} {unit}")
+    print(f"improvement    : {improvement * 100:+.1f}% over the MySQL default")
+    print(f"found at iter  : {best.iteration + 1}/{len(history)}")
+    print(f"failed configs : {server.n_failures}")
+    print("\nbest-so-far trajectory (score):")
+    print(trajectory_chart({args.optimizer: history.best_score_trajectory().tolist()}))
+    print("\nbest configuration:")
+    default = space.default_configuration()
+    for name in space.names:
+        marker = "*" if best.config[name] != default[name] else " "
+        print(f"  {marker} {name:40s} = {best.config[name]}")
+
+    from repro.dbms.advisor import lint_configuration
+
+    findings = lint_configuration(
+        server.full_space.complete(best.config), args.instance, args.workload
+    )
+    if findings:
+        print("\nadvisor findings for the best configuration:")
+        for finding in findings:
+            print(f"  {finding}")
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    space = mysql_knob_space(args.instance, seed=args.seed)
+    server = MySQLServer(args.workload, args.instance, seed=args.seed)
+    print(f"collecting {args.samples} LHS samples on {args.workload} ...")
+    configs, scores, default_score = collect_samples(
+        server, space, args.samples, seed=args.seed
+    )
+    measurement = MEASUREMENT_REGISTRY[args.measurement](space, seed=args.seed)
+    result = measurement.rank(configs, scores, default_score=default_score)
+    rows = [
+        (i + 1, name, result.score_of(name))
+        for i, name in enumerate(result.top(args.top))
+    ]
+    print()
+    print(
+        format_table(
+            ["Rank", "Knob", "Score"],
+            rows,
+            title=f"{args.measurement} ranking for {args.workload} "
+            f"(surrogate R2 = {measurement.surrogate_r2_:.2f})"
+            if measurement.surrogate_r2_ is not None
+            else f"{args.measurement} ranking for {args.workload}",
+        )
+    )
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            ["Workload", "Class", "Size", "Table", "Read-Only Txns"],
+            workload_table(),
+            title="Table 4: profile information for workloads",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        heterogeneity_comparison,
+        importance_comparison,
+        importance_sensitivity,
+        incremental_comparison,
+        knob_count_sweep,
+        optimizer_comparison,
+        overhead_comparison,
+        surrogate_model_table,
+        surrogate_tuning_comparison,
+        transfer_comparison,
+    )
+    from repro.experiments.scale import bench_scale, paper_scale, quick_scale
+
+    scale = {"quick": quick_scale, "bench": bench_scale, "paper": paper_scale}[args.scale]()
+    name = args.name
+    print(f"running {name} at {args.scale} scale ...")
+    if name == "table6":
+        result = importance_comparison(scale=scale, seed=args.seed)
+        ranking = sorted(result.overall_ranking.items(), key=lambda t: t[1])
+        print(format_table(["Measurement", "Avg rank"], ranking, title="Table 6"))
+    elif name == "fig4":
+        results = importance_sensitivity(scale=scale, seed=args.seed)
+        rows = [
+            (m, p.n_samples, p.similarity, p.r2)
+            for m, points in results.items()
+            for p in points
+        ]
+        print(format_table(["Measurement", "#Samples", "IoU", "R2"], rows, title="Figure 4"))
+    elif name == "fig5":
+        points = knob_count_sweep(scale=scale, seed=args.seed)
+        rows = [
+            (p.workload, p.n_knobs, 100 * p.improvement, p.tuning_cost_iterations)
+            for p in points
+        ]
+        print(format_table(["Workload", "#Knobs", "Impr %", "Cost"], rows, title="Figure 5"))
+    elif name == "fig6":
+        results = incremental_comparison(scale=scale, seed=args.seed)
+        for workload in {r.workload for r in results}:
+            series = {
+                r.strategy: r.trajectory for r in results if r.workload == workload
+            }
+            print(f"\n{workload}:")
+            print(trajectory_chart(series, value_format="{:+.2f}"))
+    elif name == "fig7":
+        result = optimizer_comparison(scale=scale, seed=args.seed)
+        ranking = sorted(result.rankings["overall"].items(), key=lambda t: t[1])
+        print(format_table(["Optimizer", "Overall rank"], ranking, title="Table 7"))
+    elif name == "fig8":
+        rows = heterogeneity_comparison(scale=scale, seed=args.seed)
+        print(
+            format_table(
+                ["Space", "Optimizer", "Impr %"],
+                [(r.space_kind, r.optimizer, 100 * r.improvement) for r in rows],
+                title="Figure 8",
+            )
+        )
+    elif name == "fig9":
+        rows = overhead_comparison(scale=scale, seed=args.seed)
+        print(
+            format_table(
+                ["Optimizer", "Total overhead (s)"],
+                [(r.optimizer, r.total_seconds) for r in rows],
+                title="Figure 9",
+            )
+        )
+    elif name == "table8":
+        result = transfer_comparison(scale=scale, seed=args.seed)
+        rows = [
+            (
+                r.target,
+                f"{r.framework}({r.base})",
+                float("nan") if r.speedup is None else r.speedup,
+                100 * r.performance_enhancement,
+            )
+            for r in result.rows
+        ]
+        print(format_table(["Target", "Method", "Speedup", "PE %"], rows, title="Table 8"))
+    elif name == "table9":
+        tables = surrogate_model_table(scale=scale, seed=args.seed, n_splits=5)
+        for workload, scores in tables.items():
+            print(
+                format_table(
+                    ["Model", "RMSE", "R2"],
+                    [(s.name, s.rmse, s.r2) for s in scores],
+                    title=f"Table 9 ({workload})",
+                )
+            )
+    elif name == "fig10":
+        result = surrogate_tuning_comparison(scale=scale, seed=args.seed)
+        print(
+            format_table(
+                ["Optimizer", "Impr %"],
+                [(r.optimizer, 100 * r.improvement) for r in result.rows],
+                title="Figure 10",
+            )
+        )
+        print(f"speedup range: {result.speedup_range[0]:.0f}x-{result.speedup_range[1]:.0f}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tune": _cmd_tune,
+        "rank": _cmd_rank,
+        "workloads": _cmd_workloads,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Simulated MySQL 5.7 substrate.
+
+The paper tunes RDS MySQL 5.7 on four cloud instance types.  This package
+replaces that testbed with an analytical simulator exposing the same
+surfaces a tuning system interacts with:
+
+- a 197-knob configuration space with real MySQL 5.7 knob names, domains,
+  and defaults (:mod:`repro.dbms.catalog`),
+- four hardware profiles A-D (:mod:`repro.dbms.instances`, paper Table 5),
+- an analytical performance model with knob interactions, robust defaults,
+  evaluation noise, and crash semantics (:mod:`repro.dbms.engine`),
+- internal-metric telemetry for RL state and workload mapping
+  (:mod:`repro.dbms.metrics`),
+- a server facade with restart/stress-test semantics
+  (:mod:`repro.dbms.server`).
+"""
+
+from repro.dbms.advisor import Advice, lint_configuration
+from repro.dbms.catalog import (
+    KNOB_CATALOG,
+    MODELED_KNOBS,
+    mysql_knob_space,
+)
+from repro.dbms.engine import EngineResult, PerformanceModel
+from repro.dbms.instances import INSTANCES, HardwareInstance
+from repro.dbms.metrics import INTERNAL_METRIC_NAMES
+from repro.dbms.server import MySQLServer, StressTestResult
+
+__all__ = [
+    "Advice",
+    "HardwareInstance",
+    "lint_configuration",
+    "INSTANCES",
+    "INTERNAL_METRIC_NAMES",
+    "KNOB_CATALOG",
+    "MODELED_KNOBS",
+    "EngineResult",
+    "MySQLServer",
+    "PerformanceModel",
+    "StressTestResult",
+    "mysql_knob_space",
+]

@@ -1,0 +1,178 @@
+"""Configuration advisor: static checks on a MySQL knob assignment.
+
+A lightweight analogue of tools like ``pt-variable-advisor``: given a
+configuration, a hardware instance, and (optionally) a workload, emit
+warnings about known-bad settings *before* spending a stress test on
+them.  Tuning sessions do not use the advisor (optimizers must learn
+these cliffs themselves, as in the paper); it exists for the human
+operating the library — examples and the CLI surface it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.dbms.engine import OOM_FRACTION, SWAP_FRACTION, PerformanceModel
+from repro.dbms.instances import INSTANCES, HardwareInstance
+from repro.workloads.profiles import WorkloadProfile, get_workload
+
+GB = 1024**3
+MB = 1024**2
+
+#: Severity levels, ordered.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One advisor finding."""
+
+    severity: str
+    knob: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.knob}: {self.message}"
+
+
+def lint_configuration(
+    config: Mapping[str, Any],
+    instance: HardwareInstance | str = "B",
+    workload: WorkloadProfile | str | None = None,
+) -> list[Advice]:
+    """Check a configuration for known-bad settings.
+
+    Returns findings ordered by severity (critical first).  The checks
+    mirror the failure and trap structure of the simulator — and of real
+    MySQL deployments.
+    """
+    if isinstance(instance, str):
+        instance = INSTANCES[instance]
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    findings: list[Advice] = []
+
+    # --- memory ----------------------------------------------------------
+    if workload is not None:
+        model = PerformanceModel(instance)
+        footprint = model.memory_footprint(config, workload)
+        frac = footprint / instance.ram_bytes
+        if frac > OOM_FRACTION:
+            findings.append(
+                Advice(
+                    "critical",
+                    "innodb_buffer_pool_size",
+                    f"estimated peak memory {footprint / GB:.1f}GB exceeds "
+                    f"{OOM_FRACTION:.0%} of RAM ({instance.ram_gb:.0f}GB): "
+                    "mysqld will be OOM-killed under load",
+                )
+            )
+        elif frac > SWAP_FRACTION:
+            findings.append(
+                Advice(
+                    "warning",
+                    "innodb_buffer_pool_size",
+                    f"estimated peak memory {footprint / GB:.1f}GB is "
+                    f"{frac:.0%} of RAM: expect swapping under load",
+                )
+            )
+    bp = config["innodb_buffer_pool_size"]
+    if bp < 0.25 * instance.ram_bytes:
+        findings.append(
+            Advice(
+                "warning",
+                "innodb_buffer_pool_size",
+                f"buffer pool is only {bp / GB:.1f}GB on a "
+                f"{instance.ram_gb:.0f}GB host; working sets larger than it "
+                "will be disk-bound",
+            )
+        )
+
+    # --- durability --------------------------------------------------------
+    if config["innodb_flush_log_at_trx_commit"] != "1":
+        findings.append(
+            Advice(
+                "info",
+                "innodb_flush_log_at_trx_commit",
+                "non-durable redo flushing: up to ~1s of committed "
+                "transactions can be lost on a crash (fast, but know the trade)",
+            )
+        )
+    if config["innodb_doublewrite"] == "OFF":
+        findings.append(
+            Advice(
+                "warning",
+                "innodb_doublewrite",
+                "doublewrite disabled: torn pages are unrecoverable after a "
+                "power failure",
+            )
+        )
+
+    # --- traps ------------------------------------------------------------------
+    if config["query_cache_type"] != "OFF" and config["query_cache_size"] > 8 * MB:
+        findings.append(
+            Advice(
+                "warning",
+                "query_cache_type",
+                "the query cache serializes writes on a global mutex; it is "
+                "removed in MySQL 8.0 for this reason — keep it OFF for "
+                "write workloads",
+            )
+        )
+    if config["general_log"] == "ON":
+        findings.append(
+            Advice(
+                "warning",
+                "general_log",
+                "the general log writes every statement synchronously; never "
+                "leave it ON in production",
+            )
+        )
+    if config["big_tables"] == "ON":
+        findings.append(
+            Advice(
+                "warning",
+                "big_tables",
+                "big_tables forces every internal temporary table to disk",
+            )
+        )
+    if workload is not None and int(config["max_connections"]) < workload.client_threads:
+        findings.append(
+            Advice(
+                "critical",
+                "max_connections",
+                f"max_connections ({config['max_connections']}) is below the "
+                f"workload's {workload.client_threads} client threads: "
+                "connections will be refused",
+            )
+        )
+
+    # --- checkpointing -----------------------------------------------------------
+    log_total = config["innodb_log_file_size"] * config["innodb_log_files_in_group"]
+    if workload is not None and not workload.is_analytical:
+        write_mb_s = workload.base_throughput * workload.writes_per_txn * 3 / 1024.0
+        if write_mb_s > 0 and log_total < write_mb_s * MB * 30:
+            findings.append(
+                Advice(
+                    "warning",
+                    "innodb_log_file_size",
+                    f"total redo log ({log_total / MB:.0f}MB) holds under 30s "
+                    f"of writes (~{write_mb_s:.0f}MB/s): expect checkpoint "
+                    "stalls",
+                )
+            )
+    if config["innodb_io_capacity"] > instance.disk_write_iops:
+        findings.append(
+            Advice(
+                "info",
+                "innodb_io_capacity",
+                f"io_capacity ({config['innodb_io_capacity']}) exceeds the "
+                f"device's ~{instance.disk_write_iops:.0f} write IOPS; the "
+                "surplus only adds background-I/O pressure",
+            )
+        )
+
+    order = {s: i for i, s in enumerate(SEVERITIES)}
+    findings.sort(key=lambda a: -order[a.severity])
+    return findings

@@ -1,0 +1,373 @@
+"""The MySQL 5.7 configuration-knob catalog.
+
+197 tunable knobs (paper §5.1: "There are 197 configuration knobs in MySQL
+5.7, except the knobs that do not make sense to tune") with real variable
+names, domains, and vendor defaults.  Following the paper's setup, the
+default of ``innodb_buffer_pool_size`` is raised to 60% of the target
+instance's memory; all other defaults are MySQL's.
+
+A subset of knobs (:data:`MODELED_KNOBS`) has first-order effects in the
+performance model; the remainder are *filler* knobs whose effect on
+performance is zero or negligible — exactly the property that makes knob
+selection worthwhile (most real MySQL knobs do not matter for a given
+workload).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dbms.instances import INSTANCES, HardwareInstance
+from repro.space import (
+    CategoricalKnob,
+    ConfigurationSpace,
+    ContinuousKnob,
+    IntegerKnob,
+    Knob,
+)
+
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+
+ON_OFF = ("OFF", "ON")
+
+
+def _i(name: str, lo: int, hi: int, default: int, log: bool = False) -> tuple:
+    return ("int", name, lo, hi, default, log)
+
+
+def _f(name: str, lo: float, hi: float, default: float, log: bool = False) -> tuple:
+    return ("float", name, lo, hi, default, log)
+
+
+def _c(name: str, choices: Sequence[str], default: str) -> tuple:
+    return ("cat", name, tuple(choices), default)
+
+
+#: Full knob catalog.  Order is stable (it defines dimension order of the
+#: full 197-knob space).  Knobs that the engine models first-order are
+#: grouped first for readability but receive no special treatment.
+KNOB_CATALOG: list[tuple] = [
+    # --- memory / buffer pool -----------------------------------------
+    _i("innodb_buffer_pool_size", 1 * GB, 40 * GB, 1 * GB, log=True),
+    _i("innodb_buffer_pool_instances", 1, 64, 8),
+    _i("innodb_old_blocks_pct", 5, 95, 37),
+    _i("innodb_old_blocks_time", 0, 10000, 1000),
+    _i("innodb_lru_scan_depth", 100, 16384, 1024, log=True),
+    _i("innodb_page_cleaners", 1, 64, 4),
+    # --- redo log / durability ----------------------------------------
+    _i("innodb_log_file_size", 4 * MB, 8 * GB, 48 * MB, log=True),
+    _i("innodb_log_files_in_group", 2, 16, 2),
+    _i("innodb_log_buffer_size", 1 * MB, 256 * MB, 16 * MB, log=True),
+    _c("innodb_flush_log_at_trx_commit", ("1", "0", "2"), "1"),
+    _i("innodb_flush_log_at_timeout", 1, 2700, 1),
+    _i("sync_binlog", 0, 4096, 0),
+    _c("innodb_doublewrite", ON_OFF, "ON"),
+    _c("innodb_flush_method", ("fsync", "O_DSYNC", "O_DIRECT", "O_DIRECT_NO_FSYNC"), "fsync"),
+    # --- background I/O -------------------------------------------------
+    _i("innodb_io_capacity", 100, 40000, 200, log=True),
+    _i("innodb_io_capacity_max", 100, 80000, 2000, log=True),
+    _i("innodb_read_io_threads", 1, 64, 4),
+    _i("innodb_write_io_threads", 1, 64, 4),
+    _c("innodb_flush_neighbors", ("0", "1", "2"), "1"),
+    _c("innodb_random_read_ahead", ON_OFF, "OFF"),
+    _i("innodb_read_ahead_threshold", 0, 64, 56),
+    _i("innodb_max_dirty_pages_pct", 0, 99, 75),
+    _i("innodb_max_dirty_pages_pct_lwm", 0, 99, 0),
+    _c("innodb_adaptive_flushing", ON_OFF, "ON"),
+    _i("innodb_adaptive_flushing_lwm", 0, 70, 10),
+    _i("innodb_flushing_avg_loops", 1, 1000, 30),
+    # --- concurrency -----------------------------------------------------
+    _i("innodb_thread_concurrency", 0, 1000, 0),
+    _i("innodb_concurrency_tickets", 1, 1000000, 5000, log=True),
+    _i("innodb_thread_sleep_delay", 0, 1000000, 10000),
+    _i("innodb_spin_wait_delay", 0, 6000, 6),
+    _i("innodb_sync_spin_loops", 0, 10000, 30),
+    _i("innodb_sync_array_size", 1, 1024, 1),
+    _i("innodb_commit_concurrency", 0, 1000, 0),
+    _c("innodb_adaptive_hash_index", ON_OFF, "ON"),
+    _i("innodb_adaptive_hash_index_parts", 1, 512, 8),
+    _i("innodb_purge_threads", 1, 32, 4),
+    _i("innodb_purge_batch_size", 1, 5000, 300),
+    _i("innodb_purge_rseg_truncate_frequency", 1, 128, 128),
+    _i("innodb_max_purge_lag", 0, 10000000, 0),
+    _i("innodb_max_purge_lag_delay", 0, 10000000, 0),
+    _i("innodb_rollback_segments", 1, 128, 128),
+    _c("innodb_autoinc_lock_mode", ("0", "1", "2"), "1"),
+    _i("innodb_lock_wait_timeout", 1, 3600, 50, log=True),
+    _c("innodb_rollback_on_timeout", ON_OFF, "OFF"),
+    _c("innodb_table_locks", ON_OFF, "ON"),
+    # --- change buffering ------------------------------------------------
+    _c(
+        "innodb_change_buffering",
+        ("none", "inserts", "deletes", "changes", "purges", "all"),
+        "all",
+    ),
+    _i("innodb_change_buffer_max_size", 0, 50, 25),
+    # --- per-session / query memory ---------------------------------------
+    _i("sort_buffer_size", 32 * KB, 128 * MB, 256 * KB, log=True),
+    _i("join_buffer_size", 128, 128 * MB, 256 * KB, log=True),
+    _i("read_buffer_size", 8 * KB, 32 * MB, 128 * KB, log=True),
+    _i("read_rnd_buffer_size", 1 * KB, 64 * MB, 256 * KB, log=True),
+    _i("tmp_table_size", 1 * KB, 512 * MB, 16 * MB, log=True),
+    _i("max_heap_table_size", 16 * KB, 512 * MB, 16 * MB, log=True),
+    _c("internal_tmp_disk_storage_engine", ("MYISAM", "INNODB"), "INNODB"),
+    _c("big_tables", ON_OFF, "OFF"),
+    # --- optimizer ---------------------------------------------------------
+    _i("optimizer_search_depth", 0, 62, 62),
+    _c("optimizer_prune_level", ("0", "1"), "1"),
+    _i("eq_range_index_dive_limit", 0, 10000, 200),
+    _i("range_optimizer_max_mem_size", 0, 64 * MB, 8 * MB),
+    _c("innodb_stats_method", ("nulls_equal", "nulls_unequal", "nulls_ignored"), "nulls_equal"),
+    _i("innodb_stats_persistent_sample_pages", 1, 1000, 20, log=True),
+    _i("innodb_stats_transient_sample_pages", 1, 100, 8),
+    _c("innodb_stats_persistent", ON_OFF, "ON"),
+    _c("innodb_stats_auto_recalc", ON_OFF, "ON"),
+    _c("innodb_stats_on_metadata", ON_OFF, "OFF"),
+    _c("innodb_stats_include_delete_marked", ON_OFF, "OFF"),
+    # --- query cache ---------------------------------------------------------
+    _c("query_cache_type", ("OFF", "ON", "DEMAND"), "OFF"),
+    _i("query_cache_size", 0, 1 * GB, 1 * MB),
+    _i("query_cache_limit", 0, 64 * MB, 1 * MB),
+    _i("query_cache_min_res_unit", 512, 1 * MB, 4 * KB, log=True),
+    _c("query_cache_wlock_invalidate", ON_OFF, "OFF"),
+    # --- connections / caches --------------------------------------------------
+    _i("max_connections", 10, 100000, 151, log=True),
+    _i("max_user_connections", 0, 100000, 0),
+    _i("thread_cache_size", 0, 16384, 9),
+    _i("table_open_cache", 1, 524288, 2000, log=True),
+    _i("table_open_cache_instances", 1, 64, 16),
+    _i("table_definition_cache", 400, 524288, 1400, log=True),
+    _i("back_log", 1, 65535, 80, log=True),
+    _i("thread_stack", 128 * KB, 1 * MB, 256 * KB),
+    _i("host_cache_size", 0, 65536, 279),
+    _i("open_files_limit", 1024, 1048576, 5000, log=True),
+    _i("innodb_open_files", 10, 1048576, 2000, log=True),
+    # --- binlog ---------------------------------------------------------------------
+    _i("binlog_cache_size", 4 * KB, 64 * MB, 32 * KB, log=True),
+    _i("binlog_stmt_cache_size", 4 * KB, 256 * MB, 32 * KB, log=True),
+    _i("max_binlog_cache_size", 4 * KB, 16 * GB, 16 * GB, log=True),
+    _i("max_binlog_stmt_cache_size", 4 * KB, 16 * GB, 16 * GB, log=True),
+    _i("max_binlog_size", 4 * KB, 1 * GB, 1 * GB, log=True),
+    _c("binlog_format", ("ROW", "STATEMENT", "MIXED"), "ROW"),
+    _c("binlog_row_image", ("full", "minimal", "noblob"), "full"),
+    _c("binlog_order_commits", ON_OFF, "ON"),
+    _c("binlog_checksum", ("NONE", "CRC32"), "CRC32"),
+    _i("binlog_group_commit_sync_delay", 0, 1000000, 0),
+    _i("binlog_group_commit_sync_no_delay_count", 0, 100000, 0),
+    _i("expire_logs_days", 0, 99, 0),
+    # --- timeouts / limits (filler) -----------------------------------------------
+    _i("connect_timeout", 2, 31536000, 10, log=True),
+    _i("wait_timeout", 1, 31536000, 28800, log=True),
+    _i("interactive_timeout", 1, 31536000, 28800, log=True),
+    _i("net_read_timeout", 1, 31536000, 30, log=True),
+    _i("net_write_timeout", 1, 31536000, 60, log=True),
+    _i("net_retry_count", 1, 1000000, 10, log=True),
+    _i("net_buffer_length", 1 * KB, 1 * MB, 16 * KB, log=True),
+    _i("max_allowed_packet", 1 * KB, 1 * GB, 4 * MB, log=True),
+    _i("lock_wait_timeout", 1, 31536000, 31536000, log=True),
+    _i("slow_launch_time", 0, 31536000, 2),
+    _f("long_query_time", 0.0, 3600.0, 10.0),
+    _i("max_execution_time", 0, 31536000, 0),
+    _i("flush_time", 0, 3600, 0),
+    _c("flush", ON_OFF, "OFF"),
+    # --- logging (filler with mild overhead) -----------------------------------------
+    _c("general_log", ON_OFF, "OFF"),
+    _c("slow_query_log", ON_OFF, "OFF"),
+    _c("log_queries_not_using_indexes", ON_OFF, "OFF"),
+    _c("log_output", ("FILE", "TABLE", "NONE"), "FILE"),
+    _c("performance_schema", ON_OFF, "ON"),
+    # --- per-statement limits (filler) --------------------------------------------------
+    _i("max_join_size", 1, 2**62, 2**62, log=True),
+    _i("max_seeks_for_key", 1, 2**32, 2**32, log=True),
+    _i("max_sort_length", 4, 8 * MB, 1024, log=True),
+    _i("max_length_for_sort_data", 4, 8 * MB, 1024, log=True),
+    _i("max_error_count", 0, 65535, 64),
+    _i("max_digest_length", 0, 1 * MB, 1024),
+    _i("max_prepared_stmt_count", 0, 1048576, 16382),
+    _i("max_sp_recursion_depth", 0, 255, 0),
+    _i("max_write_lock_count", 1, 2**32, 2**32, log=True),
+    _i("min_examined_row_limit", 0, 1000000, 0),
+    _i("metadata_locks_cache_size", 1, 1048576, 1024, log=True),
+    _i("metadata_locks_hash_instances", 1, 1024, 8),
+    _i("stored_program_cache", 16, 524288, 256, log=True),
+    _i("profiling_history_size", 0, 100, 15),
+    _i("default_week_format", 0, 7, 0),
+    _i("div_precision_increment", 0, 30, 4),
+    _i("group_concat_max_len", 4, 16 * MB, 1024, log=True),
+    _c("end_markers_in_json", ON_OFF, "OFF"),
+    _c("updatable_views_with_limit", ("NO", "YES"), "YES"),
+    _c("low_priority_updates", ON_OFF, "OFF"),
+    _c("sql_auto_is_null", ON_OFF, "OFF"),
+    _c("autocommit", ON_OFF, "ON"),
+    # --- allocation block sizes (filler) ----------------------------------------------------
+    _i("query_alloc_block_size", 1 * KB, 16 * MB, 8 * KB, log=True),
+    _i("query_prealloc_size", 8 * KB, 16 * MB, 8 * KB, log=True),
+    _i("range_alloc_block_size", 4 * KB, 16 * MB, 4 * KB, log=True),
+    _i("transaction_alloc_block_size", 1 * KB, 128 * KB, 8 * KB, log=True),
+    _i("transaction_prealloc_size", 1 * KB, 128 * KB, 4 * KB, log=True),
+    _i("preload_buffer_size", 1 * KB, 1 * GB, 32 * KB, log=True),
+    # --- MyISAM (filler under InnoDB workloads) ----------------------------------------------
+    _i("key_buffer_size", 8, 1 * GB, 8 * MB, log=True),
+    _i("key_cache_block_size", 512, 16 * KB, 1024, log=True),
+    _i("key_cache_age_threshold", 100, 1000000, 300, log=True),
+    _i("key_cache_division_limit", 1, 100, 100),
+    _i("bulk_insert_buffer_size", 0, 1 * GB, 8 * MB),
+    _i("myisam_sort_buffer_size", 4 * KB, 1 * GB, 8 * MB, log=True),
+    _i("myisam_max_sort_file_size", 0, 2**40, 2**40),
+    _i("myisam_repair_threads", 1, 64, 1),
+    _i("myisam_data_pointer_size", 2, 7, 6),
+    _c("myisam_use_mmap", ON_OFF, "OFF"),
+    _c("concurrent_insert", ("NEVER", "AUTO", "ALWAYS"), "AUTO"),
+    _c("delay_key_write", ("OFF", "ON", "ALL"), "ON"),
+    _i("delayed_insert_limit", 1, 1000000, 100, log=True),
+    _i("delayed_insert_timeout", 1, 31536000, 300, log=True),
+    _i("delayed_queue_size", 1, 1000000, 1000, log=True),
+    _i("max_delayed_threads", 0, 16384, 20),
+    # --- full-text search (filler) ---------------------------------------------------------------
+    _i("ft_min_word_len", 1, 16, 4),
+    _i("ft_max_word_len", 10, 84, 84),
+    _i("ft_query_expansion_limit", 0, 1000, 20),
+    _i("ngram_token_size", 1, 10, 2),
+    _i("innodb_ft_cache_size", 1600000, 80000000, 8000000, log=True),
+    _i("innodb_ft_total_cache_size", 32 * MB, 1600 * MB, 640 * MB, log=True),
+    _i("innodb_ft_max_token_size", 10, 84, 84),
+    _i("innodb_ft_min_token_size", 0, 16, 3),
+    _i("innodb_ft_num_word_optimize", 1000, 10000, 2000),
+    _i("innodb_ft_result_cache_limit", 1 * MB, 4 * GB, 2 * GB, log=True),
+    _i("innodb_ft_sort_pll_degree", 1, 32, 2),
+    _c("innodb_ft_enable_diag_print", ON_OFF, "OFF"),
+    _c("innodb_ft_enable_stopword", ON_OFF, "ON"),
+    _c("innodb_optimize_fulltext_only", ON_OFF, "OFF"),
+    # --- misc InnoDB (filler or tiny effects) ------------------------------------------------------
+    _i("innodb_autoextend_increment", 1, 1000, 64),
+    _i("innodb_fill_factor", 10, 100, 100),
+    _i("innodb_sort_buffer_size", 64 * KB, 64 * MB, 1 * MB, log=True),
+    _i("innodb_online_alter_log_max_size", 64 * KB, 16 * GB, 128 * MB, log=True),
+    _i("innodb_max_undo_log_size", 10 * MB, 10 * GB, 1 * GB, log=True),
+    _i("innodb_compression_level", 0, 9, 6),
+    _i("innodb_compression_failure_threshold_pct", 0, 100, 5),
+    _i("innodb_compression_pad_pct_max", 0, 75, 50),
+    _i("innodb_log_write_ahead_size", 512, 16 * KB, 8 * KB, log=True),
+    _c("innodb_log_compressed_pages", ON_OFF, "ON"),
+    _c("innodb_log_checksums", ON_OFF, "ON"),
+    _c("innodb_checksum_algorithm", ("crc32", "innodb", "none"), "crc32"),
+    _c("innodb_cmp_per_index_enabled", ON_OFF, "OFF"),
+    _c("innodb_disable_sort_file_cache", ON_OFF, "OFF"),
+    _c("innodb_buffer_pool_dump_at_shutdown", ON_OFF, "ON"),
+    _c("innodb_buffer_pool_load_at_startup", ON_OFF, "ON"),
+    _i("innodb_buffer_pool_dump_pct", 1, 100, 25),
+    _i("innodb_adaptive_max_sleep_delay", 0, 1000000, 150000),
+    _c("innodb_print_all_deadlocks", ON_OFF, "OFF"),
+    _c("innodb_status_output", ON_OFF, "OFF"),
+    _c("innodb_status_output_locks", ON_OFF, "OFF"),
+    _c("innodb_strict_mode", ON_OFF, "ON"),
+    _c("innodb_support_xa", ON_OFF, "ON"),
+    _c("foreign_key_checks", ON_OFF, "ON"),
+    _c("unique_checks", ON_OFF, "ON"),
+    _c("sql_buffer_result", ON_OFF, "OFF"),
+]
+
+#: Knobs with first-order modeled performance effects (see engine.py).
+MODELED_KNOBS: frozenset[str] = frozenset(
+    {
+        "innodb_buffer_pool_size",
+        "innodb_buffer_pool_instances",
+        "innodb_old_blocks_pct",
+        "innodb_old_blocks_time",
+        "innodb_lru_scan_depth",
+        "innodb_page_cleaners",
+        "innodb_log_file_size",
+        "innodb_log_files_in_group",
+        "innodb_log_buffer_size",
+        "innodb_flush_log_at_trx_commit",
+        "sync_binlog",
+        "innodb_doublewrite",
+        "innodb_flush_method",
+        "innodb_io_capacity",
+        "innodb_io_capacity_max",
+        "innodb_read_io_threads",
+        "innodb_write_io_threads",
+        "innodb_flush_neighbors",
+        "innodb_random_read_ahead",
+        "innodb_read_ahead_threshold",
+        "innodb_max_dirty_pages_pct",
+        "innodb_adaptive_flushing_lwm",
+        "innodb_thread_concurrency",
+        "innodb_spin_wait_delay",
+        "innodb_adaptive_hash_index",
+        "innodb_purge_threads",
+        "innodb_change_buffering",
+        "innodb_change_buffer_max_size",
+        "sort_buffer_size",
+        "join_buffer_size",
+        "read_buffer_size",
+        "read_rnd_buffer_size",
+        "tmp_table_size",
+        "max_heap_table_size",
+        "internal_tmp_disk_storage_engine",
+        "big_tables",
+        "optimizer_search_depth",
+        "optimizer_prune_level",
+        "innodb_stats_method",
+        "innodb_stats_persistent_sample_pages",
+        "query_cache_type",
+        "query_cache_size",
+        "max_connections",
+        "thread_cache_size",
+        "table_open_cache",
+        "binlog_cache_size",
+        "innodb_autoinc_lock_mode",
+        "general_log",
+    }
+)
+
+
+def build_knob(spec: tuple, buffer_pool_default: int | None = None) -> Knob:
+    """Materialize one catalog entry as a :class:`Knob`."""
+    kind, name = spec[0], spec[1]
+    if kind == "cat":
+        __, __, choices, default = spec
+        return CategoricalKnob(name, list(choices), default)
+    __, __, lo, hi, default, log = spec
+    if name == "innodb_buffer_pool_size" and buffer_pool_default is not None:
+        default = buffer_pool_default
+    if kind == "int":
+        return IntegerKnob(name, int(lo), int(hi), int(default), log=log)
+    return ContinuousKnob(name, float(lo), float(hi), float(default), log=log)
+
+
+def mysql_knob_space(
+    instance: HardwareInstance | str = "B",
+    knob_names: Sequence[str] | None = None,
+    seed: int | None = None,
+) -> ConfigurationSpace:
+    """Build the MySQL 5.7 knob space.
+
+    Following the paper's setup, ``innodb_buffer_pool_size`` defaults to
+    60% of the instance's memory instead of MySQL's 128 MB.
+
+    Parameters
+    ----------
+    instance:
+        Hardware instance (or its Table 5 letter) the DBMS runs on.
+    knob_names:
+        Optional subset of knob names (e.g. a knob-selection result); the
+        full 197-knob space is returned when omitted.
+    seed:
+        Seed for the space's internal sampling RNG.
+    """
+    if isinstance(instance, str):
+        instance = INSTANCES[instance]
+    bp_default = int(0.6 * instance.ram_bytes)
+    knobs = [build_knob(spec, buffer_pool_default=bp_default) for spec in KNOB_CATALOG]
+    space = ConfigurationSpace(knobs, seed=seed)
+    if knob_names is not None:
+        space = space.subspace(list(knob_names), seed=seed)
+    return space
+
+
+def catalog_size() -> int:
+    """Number of knobs in the catalog (the paper's 197)."""
+    return len(KNOB_CATALOG)

@@ -1,0 +1,45 @@
+"""Cloud hardware instance profiles (paper Table 5).
+
+All instances use network-attached SSD storage typical of RDS deployments;
+CPU and RAM follow the paper exactly.  The DBMS is deployed on instance B
+unless an experiment specifies otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class HardwareInstance:
+    """A database host: CPU, memory, and storage capability."""
+
+    name: str
+    cpu_cores: int
+    ram_gb: float
+    disk_read_iops: float = 22000.0
+    disk_write_iops: float = 9000.0
+    disk_seq_mb_s: float = 350.0
+    fsync_latency_ms: float = 1.1
+
+    @property
+    def ram_bytes(self) -> int:
+        return int(self.ram_gb * GIB)
+
+    @property
+    def io_read_latency_ms(self) -> float:
+        """Mean latency of a random page read at low queue depth."""
+        return 1000.0 / self.disk_read_iops * 4.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.cpu_cores} cores, {self.ram_gb:.0f}GB)"
+
+
+INSTANCES: dict[str, HardwareInstance] = {
+    "A": HardwareInstance("A", cpu_cores=4, ram_gb=8.0),
+    "B": HardwareInstance("B", cpu_cores=8, ram_gb=16.0),
+    "C": HardwareInstance("C", cpu_cores=16, ram_gb=32.0),
+    "D": HardwareInstance("D", cpu_cores=32, ram_gb=64.0),
+}

@@ -1,0 +1,81 @@
+"""Internal DBMS metrics (telemetry).
+
+CDBTune feeds 60+ MySQL internal metrics to its DDPG agent as the MDP
+state, and OtterTune's workload mapping matches workloads by the distance
+between internal-metric vectors.  The simulator produces a fixed, ordered
+set of such metrics derived from the same intermediate quantities as the
+performance result, so the telemetry is *consistent* with the objective
+(e.g. a low buffer-pool hit rate coincides with high disk reads and lower
+throughput).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Ordered metric names; the vector layout is stable across evaluations.
+INTERNAL_METRIC_NAMES: tuple[str, ...] = (
+    "bp_hit_rate",
+    "bp_pages_data_pct",
+    "bp_pages_dirty_pct",
+    "bp_logical_reads_per_s",
+    "bp_disk_reads_per_s",
+    "bp_pages_flushed_per_s",
+    "bp_read_ahead_per_s",
+    "bp_wait_free_per_s",
+    "log_waits_per_s",
+    "log_writes_per_s",
+    "log_fsyncs_per_s",
+    "checkpoint_age_pct",
+    "rows_read_per_s",
+    "rows_inserted_per_s",
+    "rows_updated_per_s",
+    "rows_deleted_per_s",
+    "qps",
+    "tps",
+    "threads_running",
+    "threads_connected",
+    "threads_created_per_s",
+    "connection_usage_pct",
+    "created_tmp_tables_per_s",
+    "created_tmp_disk_tables_per_s",
+    "sort_merge_passes_per_s",
+    "select_full_join_per_s",
+    "select_range_per_s",
+    "table_open_cache_hit_rate",
+    "qcache_hit_rate",
+    "qcache_invalidations_per_s",
+    "io_read_mb_per_s",
+    "io_write_mb_per_s",
+    "io_pending_flushes",
+    "row_lock_waits_per_s",
+    "row_lock_time_avg_ms",
+    "mutex_spin_waits_per_s",
+    "purge_lag_pages",
+    "change_buffer_merges_per_s",
+    "adaptive_hash_searches_per_s",
+    "cpu_util_pct",
+    "mem_util_pct",
+    "disk_util_pct",
+)
+
+
+def metrics_vector(metrics: dict[str, float]) -> np.ndarray:
+    """Project a metric dict onto the canonical ordered vector."""
+    return np.array([float(metrics.get(name, 0.0)) for name in INTERNAL_METRIC_NAMES])
+
+
+def normalized_metrics_vector(metrics: dict[str, float]) -> np.ndarray:
+    """Scale-compressed metric vector for distance computations.
+
+    Applies ``log1p`` to unbounded rate metrics so workload-mapping
+    distances are not dominated by raw magnitudes.
+    """
+    vec = metrics_vector(metrics)
+    out = np.empty_like(vec)
+    for i, name in enumerate(INTERNAL_METRIC_NAMES):
+        if name.endswith(("_pct", "_rate")) or name in ("threads_running", "row_lock_time_avg_ms"):
+            out[i] = vec[i]
+        else:
+            out[i] = np.log1p(max(vec[i], 0.0))
+    return out

@@ -1,0 +1,121 @@
+"""The simulated MySQL server facade.
+
+Mirrors the tuning controller's interaction cycle (paper §2.2, §4.1):
+every configuration change restarts the DBMS (many knobs require it), then
+a stress test replays the workload for three minutes and reports the
+objective and internal metrics.  The facade accounts the simulated
+wall-clock spent (restart + stress test) so benches can report the paper's
+"10+ hours per 200-iteration session" versus the surrogate benchmark's
+minutes (Section 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.dbms.engine import EngineResult, PerformanceModel
+from repro.dbms.instances import INSTANCES, HardwareInstance
+from repro.space import Configuration, ConfigurationSpace
+from repro.workloads.profiles import WorkloadProfile, get_workload
+
+#: Simulated wall-clock costs (seconds) per evaluation, paper §4.1.
+RESTART_SECONDS = 35.0
+STRESS_TEST_SECONDS = 180.0
+
+
+@dataclass
+class StressTestResult:
+    """One stress-test observation as the controller reports it."""
+
+    configuration: Configuration
+    objective: float
+    failed: bool
+    failure_reason: str | None
+    metrics: dict[str, float] = field(default_factory=dict)
+    simulated_seconds: float = RESTART_SECONDS + STRESS_TEST_SECONDS
+
+
+class MySQLServer:
+    """A (simulated) MySQL 5.7 instance running one workload.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`WorkloadProfile` or Table 4 workload name.
+    instance:
+        A :class:`HardwareInstance` or Table 5 letter (default ``"B"``).
+    seed:
+        Evaluation-noise seed; the same seed reproduces a session exactly.
+    noise:
+        Disable to obtain the deterministic response surface (used by
+        model-calibration tests).
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadProfile | str,
+        instance: HardwareInstance | str = "B",
+        seed: int | None = None,
+        noise: bool = True,
+    ) -> None:
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        if isinstance(instance, str):
+            instance = INSTANCES[instance]
+        self.workload = workload
+        self.instance = instance
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+        self.model = PerformanceModel(instance)
+        self._full_space: ConfigurationSpace | None = None
+        self.total_simulated_seconds = 0.0
+        self.n_evaluations = 0
+        self.n_failures = 0
+
+    @property
+    def full_space(self) -> ConfigurationSpace:
+        """The full 197-knob space with this instance's defaults."""
+        if self._full_space is None:
+            from repro.dbms.catalog import mysql_knob_space
+
+            self._full_space = mysql_knob_space(self.instance)
+        return self._full_space
+
+    @property
+    def objective_direction(self) -> str:
+        """``"max"`` for throughput workloads, ``"min"`` for latency."""
+        return "min" if self.workload.is_analytical else "max"
+
+    def default_configuration(self) -> Configuration:
+        return self.full_space.default_configuration()
+
+    def default_objective(self) -> float:
+        """Noise-free objective at the default configuration."""
+        return self.model.default_objective(self.workload)
+
+    def evaluate(self, config: Mapping[str, Any]) -> StressTestResult:
+        """Restart with ``config`` (partial configs are completed with
+        defaults) and run one stress test."""
+        complete = self.full_space.complete(config)
+        result: EngineResult = self.model.evaluate(
+            complete, self.workload, rng=self._rng, noise=self.noise
+        )
+        self.n_evaluations += 1
+        if result.failed:
+            self.n_failures += 1
+            # A crashed/unstartable DBMS still costs the restart attempt.
+            simulated = RESTART_SECONDS
+        else:
+            simulated = RESTART_SECONDS + STRESS_TEST_SECONDS
+        self.total_simulated_seconds += simulated
+        return StressTestResult(
+            configuration=complete,
+            objective=result.objective,
+            failed=result.failed,
+            failure_reason=result.failure_reason,
+            metrics=result.metrics,
+            simulated_seconds=simulated,
+        )

@@ -1,0 +1,60 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each function reproduces one evaluation artifact and returns a structured
+result that the corresponding bench prints:
+
+==================  ==============================================
+Paper artifact      Harness
+==================  ==============================================
+Table 4             :func:`repro.workloads.workload_table`
+Table 6 / Figure 3  :func:`repro.experiments.importance.importance_comparison`
+Figure 4            :func:`repro.experiments.importance.importance_sensitivity`
+Figure 5            :func:`repro.experiments.knob_count.knob_count_sweep`
+Figure 6            :func:`repro.experiments.knob_count.incremental_comparison`
+Figure 7 / Table 7  :func:`repro.experiments.optimizer_study.optimizer_comparison`
+Figure 8            :func:`repro.experiments.optimizer_study.heterogeneity_comparison`
+Figure 9            :func:`repro.experiments.optimizer_study.overhead_comparison`
+Table 8             :func:`repro.experiments.transfer_study.transfer_comparison`
+Table 9             :func:`repro.experiments.surrogate_study.surrogate_model_table`
+Figure 10           :func:`repro.experiments.surrogate_study.surrogate_tuning_comparison`
+==================  ==============================================
+
+Budgets are scaled down by default (the paper's full scale — 6250-sample
+pools, 200-iteration sessions, 3 repetitions — takes days of simulated
+stress-testing); every harness takes an explicit
+:class:`~repro.experiments.scale.Scale`, and
+:func:`~repro.experiments.scale.paper_scale` restores the paper's values.
+"""
+
+from repro.experiments.importance import importance_comparison, importance_sensitivity
+from repro.experiments.knob_count import incremental_comparison, knob_count_sweep
+from repro.experiments.optimizer_study import (
+    heterogeneity_comparison,
+    optimizer_comparison,
+    overhead_comparison,
+)
+from repro.experiments.scale import Scale, bench_scale, paper_scale
+from repro.experiments.spaces import paper_spaces, shap_ranked_knobs
+from repro.experiments.surrogate_study import (
+    surrogate_model_table,
+    surrogate_tuning_comparison,
+)
+from repro.experiments.transfer_study import transfer_comparison
+
+__all__ = [
+    "Scale",
+    "bench_scale",
+    "heterogeneity_comparison",
+    "importance_comparison",
+    "importance_sensitivity",
+    "incremental_comparison",
+    "knob_count_sweep",
+    "optimizer_comparison",
+    "overhead_comparison",
+    "paper_scale",
+    "paper_spaces",
+    "shap_ranked_knobs",
+    "surrogate_model_table",
+    "surrogate_tuning_comparison",
+    "transfer_comparison",
+]

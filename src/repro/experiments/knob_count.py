@@ -1,0 +1,174 @@
+"""Knob-count experiments: Figure 5 and Figure 6 (paper §5.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dbms.catalog import mysql_knob_space
+from repro.dbms.server import MySQLServer
+from repro.experiments.runner import median_improvement, run_sessions
+from repro.experiments.scale import Scale, bench_scale
+from repro.experiments.spaces import shap_ranked_knobs
+from repro.optimizers import VanillaBO
+from repro.optimizers.base import History
+from repro.selection.incremental import DecrementalTuner, IncrementalTuner
+from repro.tuning.metrics import improvement_over_default
+from repro.tuning.objective import DatabaseObjective
+
+
+@dataclass
+class KnobCountPoint:
+    """One Figure 5 point: improvement and cost at a knob count."""
+
+    workload: str
+    n_knobs: int
+    improvement: float
+    tuning_cost_iterations: int
+
+
+def knob_count_sweep(
+    workloads: tuple[str, ...] = ("SYSBENCH", "JOB"),
+    knob_counts: tuple[int, ...] = (5, 10, 20, 50, 197),
+    scale: Scale | None = None,
+    instance: str = "B",
+    seed: int = 17,
+) -> list[KnobCountPoint]:
+    """Figure 5: vanilla-BO improvement/cost vs SHAP-ranked knob count.
+
+    The tuning cost is the paper's: iterations needed to first reach the
+    best configuration found within the session.
+    """
+    scale = scale or bench_scale()
+    full = mysql_knob_space(instance, seed=seed)
+    points: list[KnobCountPoint] = []
+    for workload in workloads:
+        ranked = shap_ranked_knobs(workload, instance, scale.n_pool_samples, seed)
+        for k in knob_counts:
+            space = full.subspace(ranked[:k], seed=seed) if k < full.n_dims else full
+            histories = run_sessions(
+                workload,
+                space,
+                lambda s, sd: VanillaBO(s, seed=sd),
+                n_runs=scale.n_runs,
+                n_iterations=scale.knob_count_iterations,
+                n_initial=scale.n_initial,
+                instance=instance,
+                seed=seed,
+            )
+            costs = []
+            for h in histories:
+                try:
+                    best = h.best().score
+                except ValueError:
+                    costs.append(scale.knob_count_iterations)
+                    continue
+                costs.append(h.iterations_to_reach(best) or scale.knob_count_iterations)
+            points.append(
+                KnobCountPoint(
+                    workload=workload,
+                    n_knobs=k,
+                    improvement=median_improvement(histories, workload, instance),
+                    tuning_cost_iterations=int(np.median(costs)),
+                )
+            )
+    return points
+
+
+@dataclass
+class IncrementalResult:
+    """One Figure 6 curve: best improvement trajectory of a strategy."""
+
+    workload: str
+    strategy: str
+    trajectory: list[float]  # best improvement after each iteration
+    final_improvement: float
+
+
+def _improvement_trajectory(history: History, workload: str, instance: str) -> list[float]:
+    server = MySQLServer(workload, instance, noise=False)
+    default = server.default_objective()
+    direction = server.objective_direction
+    sign = -1.0 if direction == "min" else 1.0
+    out = []
+    for score in history.best_score_trajectory():
+        if np.isnan(score):
+            out.append(0.0)
+        else:
+            out.append(improvement_over_default(sign * score, default, direction))
+    return out
+
+
+def incremental_comparison(
+    workloads: tuple[str, ...] = ("SYSBENCH", "JOB"),
+    scale: Scale | None = None,
+    instance: str = "B",
+    seed: int = 17,
+) -> list[IncrementalResult]:
+    """Figure 6: incremental increase/decrease vs fixed top-5/top-20.
+
+    All strategies use vanilla BO and the SHAP ranking; the increasing
+    heuristic follows OtterTune (start small, widen periodically), the
+    decreasing one follows Tuneful (start wide, halve by re-ranked
+    importance).
+    """
+    scale = scale or bench_scale()
+    total = scale.knob_count_iterations
+    step = max(10, total // 5)
+    full = mysql_knob_space(instance, seed=seed)
+    results: list[IncrementalResult] = []
+    for workload in workloads:
+        ranked = shap_ranked_knobs(workload, instance, scale.n_pool_samples, seed)
+
+        def objective_factory(space, _wl=workload):
+            return DatabaseObjective(MySQLServer(_wl, instance, seed=seed), space)
+
+        def optimizer_factory(space, phase):
+            return VanillaBO(space, seed=seed + phase)
+
+        strategies: dict[str, History] = {}
+        strategies["increasing"] = IncrementalTuner(
+            objective_factory,
+            ranked,
+            optimizer_factory,
+            start_knobs=4,
+            step_knobs=4,
+            step_iterations=step,
+            max_knobs=40,
+            base_space=full,
+            seed=seed,
+        ).run(total)
+        strategies["decreasing"] = DecrementalTuner(
+            objective_factory,
+            ranked[:40],
+            optimizer_factory,
+            final_knobs=5,
+            step_iterations=step,
+            base_space=full,
+            seed=seed,
+        ).run(total)
+        for k, label in ((5, "fixed top-5"), (20, "fixed top-20")):
+            history = run_sessions(
+                workload,
+                full.subspace(ranked[:k], seed=seed),
+                lambda s, sd: VanillaBO(s, seed=sd),
+                n_runs=1,
+                n_iterations=total,
+                n_initial=scale.n_initial,
+                instance=instance,
+                seed=seed,
+            )[0]
+            strategies[label] = history
+
+        for strategy, history in strategies.items():
+            trajectory = _improvement_trajectory(history, workload, instance)
+            results.append(
+                IncrementalResult(
+                    workload=workload,
+                    strategy=strategy,
+                    trajectory=trajectory,
+                    final_improvement=trajectory[-1] if trajectory else 0.0,
+                )
+            )
+    return results

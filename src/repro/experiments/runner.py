@@ -1,0 +1,73 @@
+"""Shared session-running helpers for experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.dbms.server import MySQLServer
+from repro.optimizers.base import History, Optimizer
+from repro.space import ConfigurationSpace
+from repro.tuning.metrics import improvement_over_default
+from repro.tuning.objective import DatabaseObjective
+from repro.tuning.session import TuningSession
+
+OptimizerFactory = Callable[[ConfigurationSpace, int], Optimizer]
+
+
+def run_sessions(
+    workload: str,
+    space: ConfigurationSpace,
+    optimizer_factory: OptimizerFactory,
+    n_runs: int,
+    n_iterations: int,
+    n_initial: int = 10,
+    instance: str = "B",
+    seed: int = 0,
+) -> list[History]:
+    """Run repeated tuning sessions (fresh server + optimizer per run)."""
+    histories: list[History] = []
+    for run in range(n_runs):
+        server = MySQLServer(workload, instance, seed=seed + 1000 * run)
+        objective = DatabaseObjective(server, space)
+        optimizer = optimizer_factory(space, seed + run)
+        session = TuningSession(
+            objective,
+            optimizer,
+            space,
+            max_iterations=n_iterations,
+            n_initial=n_initial,
+            seed=seed + 10_000 + run,
+        )
+        histories.append(session.run())
+    return histories
+
+
+def median_improvement(
+    histories: list[History], workload: str, instance: str = "B"
+) -> float:
+    """Median best-improvement over the default across repeated sessions."""
+    server = MySQLServer(workload, instance, noise=False)
+    default = server.default_objective()
+    direction = server.objective_direction
+    improvements = []
+    for h in histories:
+        try:
+            best = h.best().objective
+        except ValueError:
+            improvements.append(float("-inf"))
+            continue
+        improvements.append(improvement_over_default(best, default, direction))
+    return float(np.median(improvements))
+
+
+def median_best_score(histories: list[History]) -> float:
+    """Median of best scores across sessions (maximization scale)."""
+    bests = []
+    for h in histories:
+        try:
+            bests.append(h.best().score)
+        except ValueError:
+            bests.append(float("-inf"))
+    return float(np.median(bests))

@@ -1,0 +1,59 @@
+"""Experiment budget scaling.
+
+The paper's budgets (6250-sample pools, 200-600 iteration sessions, three
+repeated runs) are faithful but slow even against the simulator once the
+GP-based optimizers' cubic overhead kicks in.  A :class:`Scale` bundles
+the knobs every harness needs; ``bench_scale()`` is the fast default the
+shipped benches use, ``paper_scale()`` restores the paper's numbers.
+
+Set the environment variable ``REPRO_SCALE=paper`` to make the benches
+run at paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Budgets shared across experiment harnesses."""
+
+    n_pool_samples: int  # offline LHS pool size per workload/space
+    n_iterations: int  # tuning-session length
+    n_runs: int  # repeated sessions per setting (median reported)
+    n_initial: int = 10  # LHS initialization size (paper: 10)
+    knob_count_iterations: int = 0  # Figure 5 uses longer sessions (paper: 600)
+
+    def __post_init__(self) -> None:
+        if self.n_pool_samples < 10 or self.n_iterations < 1 or self.n_runs < 1:
+            raise ValueError("scale budgets out of range")
+        if self.knob_count_iterations == 0:
+            object.__setattr__(self, "knob_count_iterations", 2 * self.n_iterations)
+
+    def with_overrides(self, **kwargs) -> "Scale":
+        return replace(self, **kwargs)
+
+
+def bench_scale() -> Scale:
+    """Reduced budgets used by the shipped benches (minutes, not days)."""
+    if os.environ.get("REPRO_SCALE", "").lower() == "paper":
+        return paper_scale()
+    return Scale(n_pool_samples=1200, n_iterations=50, n_runs=1)
+
+
+def quick_scale() -> Scale:
+    """Tiny budgets for tests and smoke runs."""
+    return Scale(n_pool_samples=200, n_iterations=15, n_runs=1, n_initial=5)
+
+
+def paper_scale() -> Scale:
+    """The paper's full budgets (§4.1, §5.1, §5.3)."""
+    return Scale(
+        n_pool_samples=6250,
+        n_iterations=200,
+        n_runs=3,
+        n_initial=10,
+        knob_count_iterations=600,
+    )

@@ -1,0 +1,105 @@
+"""Canonical knob rankings and the paper's three space sizes (§6.1).
+
+The optimizer experiments tune the top-5 (small), top-20 (medium), and
+all-197 (large) knobs ranked by SHAP.  Rankings are derived from an LHS
+pool against the simulated DBMS and memoized per (workload, instance,
+pool size, seed) so the many harnesses that need them do not recollect.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.dbms.catalog import mysql_knob_space
+from repro.dbms.server import MySQLServer
+from repro.selection.base import collect_samples
+from repro.selection.shap import ShapImportance
+from repro.space import Configuration, ConfigurationSpace
+
+#: The paper's space sizes (§6.1).
+SPACE_SIZES = {"small": 5, "medium": 20, "large": 197}
+
+
+@lru_cache(maxsize=16)
+def _pool_and_ranking(
+    workload: str, instance: str, n_samples: int, seed: int
+) -> tuple[tuple[Configuration, ...], tuple[float, ...], float, tuple[str, ...]]:
+    space = mysql_knob_space(instance, seed=seed)
+    server = MySQLServer(workload, instance, seed=seed)
+    configs, scores, default_score = collect_samples(server, space, n_samples, seed=seed)
+    measurement = ShapImportance(space, seed=seed)
+    ranking = measurement.rank(configs, scores, default_score=default_score)
+    return (
+        tuple(configs),
+        tuple(float(s) for s in scores),
+        float(default_score),
+        tuple(ranking.ranked()),
+    )
+
+
+def workload_pool(
+    workload: str, instance: str = "B", n_samples: int = 1200, seed: int = 17
+) -> tuple[list[Configuration], np.ndarray, float]:
+    """The memoized LHS (configuration, score) pool for a workload."""
+    configs, scores, default_score, __ = _pool_and_ranking(workload, instance, n_samples, seed)
+    return list(configs), np.array(scores), default_score
+
+
+def shap_ranked_knobs(
+    workload: str, instance: str = "B", n_samples: int = 1200, seed: int = 17
+) -> list[str]:
+    """All 197 knobs ranked by SHAP tunability for a workload."""
+    __, __, __, ranked = _pool_and_ranking(workload, instance, n_samples, seed)
+    return list(ranked)
+
+
+def paper_spaces(
+    workload: str, instance: str = "B", n_samples: int = 1200, seed: int = 17
+) -> dict[str, ConfigurationSpace]:
+    """The small/medium/large spaces of §6.1 for one workload."""
+    ranked = shap_ranked_knobs(workload, instance, n_samples, seed)
+    full = mysql_knob_space(instance, seed=seed)
+    return {
+        name: full.subspace(ranked[:k], seed=seed) if k < full.n_dims else full
+        for name, k in SPACE_SIZES.items()
+    }
+
+
+def heterogeneity_spaces(
+    workload: str = "JOB", instance: str = "B", n_samples: int = 1200, seed: int = 17
+) -> dict[str, ConfigurationSpace]:
+    """Figure 8's control/test spaces.
+
+    Control: the top-20 *numeric* knobs (continuous space); test: the
+    top-5 categorical plus top-15 numeric knobs (heterogeneous space),
+    all ranked by SHAP.
+    """
+    ranked = shap_ranked_knobs(workload, instance, n_samples, seed)
+    full = mysql_knob_space(instance, seed=seed)
+    numeric = [n for n in ranked if not full[n].is_categorical]
+    categorical = [n for n in ranked if full[n].is_categorical]
+    return {
+        "continuous": full.subspace(numeric[:20], seed=seed),
+        "heterogeneous": full.subspace(categorical[:5] + numeric[:15], seed=seed),
+    }
+
+
+def transfer_space(
+    instance: str = "B", n_samples: int = 1200, seed: int = 17
+) -> ConfigurationSpace:
+    """The cross-OLTP top-20 space of §7.1.
+
+    The paper selects the top-20 impacting knobs with SHAP *across* OLTP
+    workloads; we average each knob's SHAP rank over three representative
+    OLTP workloads and keep the best 20.
+    """
+    workloads = ("SYSBENCH", "TPC-C", "Twitter")
+    rank_sum: dict[str, float] = {}
+    for wl in workloads:
+        for pos, name in enumerate(shap_ranked_knobs(wl, instance, n_samples, seed)):
+            rank_sum[name] = rank_sum.get(name, 0.0) + pos
+    merged = sorted(rank_sum.items(), key=lambda t: t[1])
+    names = [name for name, __ in merged[:20]]
+    return mysql_knob_space(instance, seed=seed).subspace(names, seed=seed)

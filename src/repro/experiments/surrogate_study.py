@@ -1,0 +1,124 @@
+"""Surrogate-benchmark experiments: Table 9 and Figure 10 (paper §8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dbms.server import RESTART_SECONDS, STRESS_TEST_SECONDS, MySQLServer
+from repro.experiments.scale import Scale, bench_scale
+from repro.experiments.spaces import paper_spaces
+from repro.optimizers import OPTIMIZER_REGISTRY
+from repro.selection.base import collect_samples
+from repro.surrogate.benchmark import SurrogateBenchmark
+from repro.surrogate.models import SurrogateModelScore, compare_surrogate_models
+from repro.tuning.metrics import improvement_over_default
+from repro.tuning.session import TuningSession
+
+
+def surrogate_model_table(
+    scale: Scale | None = None,
+    n_splits: int = 10,
+    instance: str = "B",
+    seed: int = 17,
+) -> dict[str, list[SurrogateModelScore]]:
+    """Table 9: candidate regressors on the two benchmark spaces.
+
+    The paper trains on the small space of JOB and the medium space of
+    SYSBENCH; RMSE for JOB is in seconds of latency, for SYSBENCH in txn/s.
+    """
+    scale = scale or bench_scale()
+    out: dict[str, list[SurrogateModelScore]] = {}
+    for workload, size in (("JOB", "small"), ("SYSBENCH", "medium")):
+        space = paper_spaces(workload, instance, scale.n_pool_samples, seed)[size]
+        server = MySQLServer(workload, instance, seed=seed)
+        configs, scores, __ = collect_samples(server, space, scale.n_pool_samples, seed=seed)
+        sign = -1.0 if server.objective_direction == "min" else 1.0
+        X = space.encode_many(configs)
+        y = sign * np.asarray(scores)
+        out[workload] = compare_surrogate_models(X, y, n_splits=n_splits, seed=seed)
+    return out
+
+
+@dataclass
+class SurrogateTuningRow:
+    """One Figure 10 curve."""
+
+    workload: str
+    optimizer: str
+    improvement: float
+    best_trajectory: list[float]
+    session_seconds: float
+
+
+@dataclass
+class SurrogateTuningComparison:
+    rows: list[SurrogateTuningRow]
+    speedup_range: tuple[float, float]
+
+
+def surrogate_tuning_comparison(
+    workload: str = "SYSBENCH",
+    space_size: str = "medium",
+    optimizers: tuple[str, ...] = ("vanilla_bo", "mixed_kernel_bo", "smac", "tpe", "ga"),
+    scale: Scale | None = None,
+    n_runs: int | None = None,
+    instance: str = "B",
+    seed: int = 17,
+) -> SurrogateTuningComparison:
+    """Figure 10: optimizer comparison on the RF surrogate benchmark.
+
+    Also computes the session-level speedup over a real testbed: a real
+    200-iteration session costs (restart + stress test) per iteration
+    plus algorithm overhead; a benchmark session costs model predictions
+    plus the same overhead — the paper's 150-311x.
+    """
+    scale = scale or bench_scale()
+    runs = n_runs if n_runs is not None else scale.n_runs
+    space = paper_spaces(workload, instance, scale.n_pool_samples, seed)[space_size]
+    bench = SurrogateBenchmark.build(
+        workload, space, n_samples=scale.n_pool_samples, instance=instance, seed=seed
+    )
+    rows: list[SurrogateTuningRow] = []
+    speedups: list[float] = []
+    for name in optimizers:
+        improvements: list[float] = []
+        trajectory: list[float] = []
+        overhead = 0.0
+        for run in range(runs):
+            objective = bench.objective()
+            optimizer = OPTIMIZER_REGISTRY[name](space, seed=seed + run)
+            session = TuningSession(
+                objective,
+                optimizer,
+                space,
+                max_iterations=scale.n_iterations,
+                n_initial=scale.n_initial,
+                seed=seed + 31 * run,
+            )
+            history = session.run()
+            best = history.best().objective
+            improvements.append(
+                improvement_over_default(
+                    best, bench.default_objective, bench.direction
+                )
+            )
+            if run == 0:
+                trajectory = history.best_score_trajectory().tolist()
+            overhead = sum(o.suggest_seconds for o in history)
+        real_session = scale.n_iterations * (RESTART_SECONDS + STRESS_TEST_SECONDS) + overhead
+        cheap_session = scale.n_iterations * bench.seconds_per_model_eval + overhead
+        speedups.append(real_session / cheap_session)
+        rows.append(
+            SurrogateTuningRow(
+                workload=workload,
+                optimizer=name,
+                improvement=float(np.median(improvements)),
+                best_trajectory=trajectory,
+                session_seconds=cheap_session,
+            )
+        )
+    return SurrogateTuningComparison(
+        rows=rows, speedup_range=(float(min(speedups)), float(max(speedups)))
+    )

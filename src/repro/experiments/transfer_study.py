@@ -1,0 +1,150 @@
+"""Knowledge-transfer experiment: Table 8 (paper §7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.scale import Scale, bench_scale
+from repro.experiments.spaces import transfer_space
+from repro.dbms.server import MySQLServer
+from repro.optimizers import DDPG, MixedKernelBO, SMAC
+from repro.optimizers.base import History
+from repro.transfer import (
+    MappedOptimizer,
+    RGPEMixedKernelBO,
+    RGPESMAC,
+    fine_tuned_ddpg,
+    pretrain_ddpg,
+)
+from repro.tuning.metrics import average_ranks, performance_enhancement, speedup
+from repro.tuning.objective import DatabaseObjective
+from repro.tuning.session import TuningSession
+
+#: Paper §7.1: source workloads for historical data / pre-training.
+SOURCE_WORKLOADS = ("SEATS", "Voter", "TATP", "Smallbank", "SIBench")
+#: Paper §7.1: target workloads.
+TARGET_WORKLOADS = ("TPC-C", "SYSBENCH", "Twitter")
+
+
+@dataclass
+class TransferRow:
+    """One Table 8 cell group: a framework/base pair on one target."""
+
+    target: str
+    framework: str  # "rgpe" | "mapping" | "fine-tune"
+    base: str  # "smac" | "mixed_kernel_bo" | "ddpg"
+    speedup: float | None  # None renders as the paper's "x"
+    performance_enhancement: float
+    best_score: float
+
+
+@dataclass
+class TransferComparison:
+    rows: list[TransferRow]
+    absolute_rankings: dict[str, dict[str, float]]  # per target + "avg"
+
+
+def _run(
+    optimizer, target: str, space, scale: Scale, instance: str, seed: int
+) -> History:
+    server = MySQLServer(target, instance, seed=seed)
+    session = TuningSession(
+        DatabaseObjective(server, space),
+        optimizer,
+        space,
+        max_iterations=scale.n_iterations,
+        n_initial=scale.n_initial,
+        seed=seed + 5,
+    )
+    return session.run()
+
+
+def transfer_comparison(
+    scale: Scale | None = None,
+    instance: str = "B",
+    seed: int = 17,
+    pretrain_iterations: int | None = None,
+) -> TransferComparison:
+    """Table 8: five transfer baselines against their base optimizers.
+
+    DDPG is pre-trained on the five source workloads in turn; its
+    training observations double as the historical data for workload
+    mapping and RGPE (the paper's data-fairness setup).
+    """
+    scale = scale or bench_scale()
+    space = transfer_space(instance, scale.n_pool_samples, seed)
+    pretrain_iters = (
+        pretrain_iterations if pretrain_iterations is not None else scale.n_iterations
+    )
+    agent, repository = pretrain_ddpg(
+        space,
+        list(SOURCE_WORKLOADS),
+        instance=instance,
+        iterations_per_source=pretrain_iters,
+        seed=seed,
+    )
+
+    rows: list[TransferRow] = []
+    per_target_scores: dict[str, dict[str, float]] = {}
+    for t_idx, target in enumerate(TARGET_WORKLOADS):
+        t_seed = seed + 100 * (t_idx + 1)
+        base_histories = {
+            "smac": _run(SMAC(space, seed=t_seed), target, space, scale, instance, t_seed),
+            "mixed_kernel_bo": _run(
+                MixedKernelBO(space, seed=t_seed), target, space, scale, instance, t_seed
+            ),
+            "ddpg": _run(DDPG(space, seed=t_seed), target, space, scale, instance, t_seed),
+        }
+        transfer_histories = {
+            ("rgpe", "mixed_kernel_bo"): _run(
+                RGPEMixedKernelBO(space, repository, seed=t_seed),
+                target, space, scale, instance, t_seed,
+            ),
+            ("rgpe", "smac"): _run(
+                RGPESMAC(space, repository, seed=t_seed),
+                target, space, scale, instance, t_seed,
+            ),
+            ("mapping", "mixed_kernel_bo"): _run(
+                MappedOptimizer(MixedKernelBO(space, seed=t_seed), repository),
+                target, space, scale, instance, t_seed,
+            ),
+            ("mapping", "smac"): _run(
+                MappedOptimizer(SMAC(space, seed=t_seed), repository),
+                target, space, scale, instance, t_seed,
+            ),
+            ("fine-tune", "ddpg"): _run(
+                fine_tuned_ddpg(space, agent, seed=t_seed),
+                target, space, scale, instance, t_seed,
+            ),
+        }
+        scores: dict[str, float] = {}
+        for (framework, base), history in transfer_histories.items():
+            base_history = base_histories[base]
+            best = history.best().score
+            rows.append(
+                TransferRow(
+                    target=target,
+                    framework=framework,
+                    base=base,
+                    speedup=speedup(base_history, history),
+                    performance_enhancement=performance_enhancement(
+                        best, base_history.best().score
+                    ),
+                    best_score=best,
+                )
+            )
+            scores[f"{framework}({base})"] = best
+        per_target_scores[target] = scores
+
+    rankings: dict[str, dict[str, float]] = {}
+    methods = list(next(iter(per_target_scores.values())))
+    for target, scores in per_target_scores.items():
+        rankings[target] = average_ranks(
+            {m: [scores[m]] for m in methods}, higher_is_better=True
+        )
+    rankings["avg"] = {
+        m: float(np.mean([rankings[t][m] for t in per_target_scores])) for m in methods
+    }
+    return TransferComparison(rows=rows, absolute_rankings=rankings)

@@ -1,0 +1,83 @@
+"""From-scratch machine-learning substrate.
+
+The offline environment provides only numpy/scipy, so every model the paper
+relies on (scikit-learn regressors, the fANOVA/SHAP libraries' internals,
+BoTorch GPs, PyTorch networks) is implemented here from first principles:
+
+- :mod:`repro.ml.preprocessing` — scalers and polynomial features,
+- :mod:`repro.ml.metrics` — regression and ranking metrics,
+- :mod:`repro.ml.model_selection` — K-fold CV utilities,
+- :mod:`repro.ml.linear` — OLS / Ridge / coordinate-descent Lasso,
+- :mod:`repro.ml.tree` — CART regression trees,
+- :mod:`repro.ml.forest` — random forests with predictive variance,
+- :mod:`repro.ml.boosting` — gradient-boosted trees,
+- :mod:`repro.ml.neighbors` — k-nearest-neighbour regression,
+- :mod:`repro.ml.svm` — epsilon-SVR / NuSVR (kernelized dual ascent),
+- :mod:`repro.ml.kernels` + :mod:`repro.ml.gp` — Gaussian processes,
+- :mod:`repro.ml.neural` — MLPs with Adam (DDPG actor/critic substrate).
+"""
+
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import (
+    ConstantKernel,
+    HammingKernel,
+    Matern52Kernel,
+    MixedKernel,
+    ProductKernel,
+    RBFKernel,
+    SumKernel,
+    WhiteKernel,
+)
+from repro.ml.linear import LassoRegression, LinearRegression, RidgeRegression
+from repro.ml.metrics import (
+    kendall_tau,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+    spearman_rho,
+)
+from repro.ml.model_selection import KFold, cross_validate, train_test_split
+from repro.ml.neighbors import KNNRegressor
+from repro.ml.neural import MLP, Adam, DenseLayer
+from repro.ml.preprocessing import MinMaxScaler, PolynomialFeatures, StandardScaler
+from repro.ml.svm import EpsilonSVR, NuSVR
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "Adam",
+    "ConstantKernel",
+    "DecisionTreeRegressor",
+    "DenseLayer",
+    "EpsilonSVR",
+    "GaussianProcessRegressor",
+    "GradientBoostingRegressor",
+    "HammingKernel",
+    "KFold",
+    "KNNRegressor",
+    "LassoRegression",
+    "LinearRegression",
+    "MLP",
+    "Matern52Kernel",
+    "MinMaxScaler",
+    "MixedKernel",
+    "NuSVR",
+    "PolynomialFeatures",
+    "ProductKernel",
+    "RBFKernel",
+    "RandomForestRegressor",
+    "RidgeRegression",
+    "StandardScaler",
+    "SumKernel",
+    "WhiteKernel",
+    "cross_validate",
+    "kendall_tau",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "root_mean_squared_error",
+    "spearman_rho",
+    "train_test_split",
+]

@@ -1,0 +1,89 @@
+"""Gradient-boosted regression trees (least-squares boosting).
+
+GB is one of the candidate surrogate regressors in the tuning benchmark
+(Table 9) where, together with random forests, it is the best performer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class GradientBoostingRegressor:
+    """Stagewise additive model of shallow trees on squared-error residuals."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self.init_: float = 0.0
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        rng = np.random.default_rng(self.seed)
+        n = len(X)
+        self.init_ = float(y.mean())
+        current = np.full(n, self.init_)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            residual = y - current
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self.subsample < 1.0:
+                m = max(2, int(round(self.subsample * n)))
+                idx = rng.choice(n, size=m, replace=False)
+                tree.fit(X[idx], residual[idx])
+            else:
+                tree.fit(X, residual)
+            current += self.learning_rate * tree.predict(X)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.full(len(X), self.init_)
+        for tree in self.trees_:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+    def staged_predict(self, X: np.ndarray) -> np.ndarray:
+        """Predictions after each boosting stage, shape ``(stages, n)``."""
+        if not self.trees_:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.full(len(X), self.init_)
+        stages = np.empty((len(self.trees_), len(X)))
+        for i, tree in enumerate(self.trees_):
+            out = out + self.learning_rate * tree.predict(X)
+            stages[i] = out
+        return stages

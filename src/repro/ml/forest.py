@@ -1,0 +1,108 @@
+"""Random forest regression (Breiman, 2001).
+
+The forest is the workhorse of the paper: SMAC's surrogate, the ablation
+and SHAP surrogates, the fANOVA base model, and the winning surrogate of
+the tuning benchmark (Table 9) are all random forests.  Besides the mean
+prediction it exposes the across-tree variance that SMAC's Gaussian
+assumption ``N(y | mu, sigma^2)`` requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bagged CART ensemble with per-tree feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = 0.8,
+        bootstrap: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.trees_: list[DecisionTreeRegressor] = []
+        self.n_features_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        n = len(X)
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            self.trees_.append(tree)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+
+    def tree_predictions(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions, shape ``(n_estimators, n_samples)``."""
+        self._check_fitted()
+        return np.array([tree.predict(X) for tree in self.trees_])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Mean prediction across trees."""
+        return self.tree_predictions(X).mean(axis=0)
+
+    def predict_with_std(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Mean and across-tree standard deviation (SMAC's mu, sigma).
+
+        A small floor keeps sigma positive so acquisition functions stay
+        well-defined even where all trees agree.
+        """
+        preds = self.tree_predictions(X)
+        mean = preds.mean(axis=0)
+        std = preds.std(axis=0)
+        return mean, np.maximum(std, 1e-9)
+
+    def split_counts(self) -> np.ndarray:
+        """Total split counts per feature across trees (Gini score basis)."""
+        self._check_fitted()
+        counts = np.zeros(self.n_features_)
+        for tree in self.trees_:
+            counts += tree.split_counts()
+        return counts
+
+    def feature_importances(self) -> np.ndarray:
+        """Mean normalized impurity-decrease importances across trees."""
+        self._check_fitted()
+        imp = np.zeros(self.n_features_)
+        for tree in self.trees_:
+            imp += tree.feature_importances()
+        total = imp.sum()
+        return imp / total if total > 0 else imp

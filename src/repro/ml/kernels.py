@@ -1,0 +1,321 @@
+"""Covariance kernels for Gaussian-process surrogates.
+
+Vanilla BO (OtterTune-style) uses an RBF kernel over the unit-encoded
+configuration.  Mixed-kernel BO (paper §3.2) uses the product of a
+Matérn-5/2 kernel on continuous dimensions and a Hamming kernel on
+categorical dimensions, which models categorical knobs without imposing a
+spurious ordering.
+
+Every kernel exposes a log-space hyperparameter vector (``theta``) with
+box bounds so the GP can maximize marginal likelihood over it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+_LOG_BOUND = (math.log(1e-3), math.log(1e3))
+
+
+def _sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    d2 = (
+        np.sum(A**2, axis=1)[:, None]
+        - 2.0 * A @ B.T
+        + np.sum(B**2, axis=1)[None, :]
+    )
+    return np.maximum(d2, 0.0)
+
+
+def _select(X: np.ndarray, dims: np.ndarray | None) -> np.ndarray:
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    return X if dims is None else X[:, dims]
+
+
+class Kernel:
+    """Base covariance function."""
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.diag(self(X, X)).copy()
+
+    # --- hyperparameter protocol (log-space) ---
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        if len(np.asarray(value).ravel()) != 0:
+            raise ValueError("kernel has no hyperparameters")
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return []
+
+    def __mul__(self, other: "Kernel") -> "ProductKernel":
+        return ProductKernel(self, other)
+
+    def __add__(self, other: "Kernel") -> "SumKernel":
+        return SumKernel(self, other)
+
+
+class ConstantKernel(Kernel):
+    """Signal-variance scaling: ``k(x, x') = variance``."""
+
+    def __init__(self, variance: float = 1.0) -> None:
+        if variance <= 0:
+            raise ValueError("variance must be > 0")
+        self.variance = variance
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.atleast_2d(A)
+        B = np.atleast_2d(B)
+        return np.full((len(A), len(B)), self.variance)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.variance)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.variance = float(np.exp(np.asarray(value).ravel()[0]))
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [_LOG_BOUND]
+
+
+class WhiteKernel(Kernel):
+    """Observation-noise kernel: adds ``noise`` on the diagonal only."""
+
+    def __init__(self, noise: float = 1e-6) -> None:
+        if noise <= 0:
+            raise ValueError("noise must be > 0")
+        self.noise = noise
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.atleast_2d(A)
+        B = np.atleast_2d(B)
+        if A is B or (A.shape == B.shape and np.array_equal(A, B)):
+            return self.noise * np.eye(len(A))
+        return np.zeros((len(A), len(B)))
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(len(np.atleast_2d(X)), self.noise)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.noise)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.noise = float(np.exp(np.asarray(value).ravel()[0]))
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [(math.log(1e-8), math.log(1e-1))]
+
+
+class RBFKernel(Kernel):
+    """Isotropic squared-exponential kernel over selected dimensions."""
+
+    def __init__(self, lengthscale: float = 0.5, dims: Sequence[int] | None = None) -> None:
+        if lengthscale <= 0:
+            raise ValueError("lengthscale must be > 0")
+        self.lengthscale = lengthscale
+        self.dims = None if dims is None else np.asarray(dims, dtype=int)
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = _select(A, self.dims)
+        B = _select(B, self.dims)
+        return np.exp(-0.5 * _sq_dists(A, B) / self.lengthscale**2)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(len(np.atleast_2d(X)))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.lengthscale)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.lengthscale = float(np.exp(np.asarray(value).ravel()[0]))
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [(math.log(1e-2), math.log(1e2))]
+
+
+class Matern52Kernel(Kernel):
+    """Matérn nu=5/2 kernel: twice-differentiable, less smooth than RBF."""
+
+    def __init__(self, lengthscale: float = 0.5, dims: Sequence[int] | None = None) -> None:
+        if lengthscale <= 0:
+            raise ValueError("lengthscale must be > 0")
+        self.lengthscale = lengthscale
+        self.dims = None if dims is None else np.asarray(dims, dtype=int)
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = _select(A, self.dims)
+        B = _select(B, self.dims)
+        r = np.sqrt(_sq_dists(A, B)) / self.lengthscale
+        sqrt5_r = math.sqrt(5.0) * r
+        return (1.0 + sqrt5_r + 5.0 * r**2 / 3.0) * np.exp(-sqrt5_r)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(len(np.atleast_2d(X)))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.lengthscale)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.lengthscale = float(np.exp(np.asarray(value).ravel()[0]))
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [(math.log(1e-2), math.log(1e2))]
+
+
+class HammingKernel(Kernel):
+    """Exponentiated negative Hamming distance over categorical dimensions.
+
+    Inputs are the unit encodings of categorical knobs; two values count as
+    different whenever their unit positions differ (unit encoding is
+    injective per choice, so this equals the native Hamming distance).
+    """
+
+    def __init__(self, lengthscale: float = 1.0, dims: Sequence[int] | None = None) -> None:
+        if lengthscale <= 0:
+            raise ValueError("lengthscale must be > 0")
+        self.lengthscale = lengthscale
+        self.dims = None if dims is None else np.asarray(dims, dtype=int)
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = _select(A, self.dims)
+        B = _select(B, self.dims)
+        diff = (np.abs(A[:, None, :] - B[None, :, :]) > 1e-12).sum(axis=2)
+        return np.exp(-diff / self.lengthscale)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(len(np.atleast_2d(X)))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.lengthscale)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.lengthscale = float(np.exp(np.asarray(value).ravel()[0]))
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return [(math.log(1e-1), math.log(1e2))]
+
+
+class _Composite(Kernel):
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.left.theta, self.right.theta])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value).ravel()
+        n_left = len(self.left.theta)
+        self.left.theta = value[:n_left]
+        self.right.theta = value[n_left:]
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        return self.left.bounds + self.right.bounds
+
+
+class ProductKernel(_Composite):
+    """Pointwise product of two kernels."""
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        return self.left(A, B) * self.right(A, B)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) * self.right.diag(X)
+
+
+class SumKernel(_Composite):
+    """Pointwise sum of two kernels."""
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        return self.left(A, B) + self.right(A, B)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) + self.right.diag(X)
+
+
+class MixedKernel(Kernel):
+    """Matérn-5/2 on continuous dims × Hamming on categorical dims.
+
+    The kernel of mixed-kernel BO (paper §3.2): when either dimension set is
+    empty, it degrades gracefully to the other factor alone.
+    """
+
+    def __init__(
+        self,
+        continuous_dims: Sequence[int],
+        categorical_dims: Sequence[int],
+        continuous_lengthscale: float = 0.5,
+        categorical_lengthscale: float = 1.0,
+    ) -> None:
+        self.continuous_dims = np.asarray(continuous_dims, dtype=int)
+        self.categorical_dims = np.asarray(categorical_dims, dtype=int)
+        if len(self.continuous_dims) == 0 and len(self.categorical_dims) == 0:
+            raise ValueError("at least one dimension set must be non-empty")
+        self._matern = Matern52Kernel(continuous_lengthscale, dims=self.continuous_dims)
+        self._hamming = HammingKernel(categorical_lengthscale, dims=self.categorical_dims)
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if len(self.continuous_dims) == 0:
+            return self._hamming(A, B)
+        if len(self.categorical_dims) == 0:
+            return self._matern(A, B)
+        return self._matern(A, B) * self._hamming(A, B)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(len(np.atleast_2d(X)))
+
+    @property
+    def theta(self) -> np.ndarray:
+        parts = []
+        if len(self.continuous_dims) > 0:
+            parts.append(self._matern.theta)
+        if len(self.categorical_dims) > 0:
+            parts.append(self._hamming.theta)
+        return np.concatenate(parts)
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value).ravel()
+        i = 0
+        if len(self.continuous_dims) > 0:
+            self._matern.theta = value[i : i + 1]
+            i += 1
+        if len(self.categorical_dims) > 0:
+            self._hamming.theta = value[i : i + 1]
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        out: list[tuple[float, float]] = []
+        if len(self.continuous_dims) > 0:
+            out.extend(self._matern.bounds)
+        if len(self.categorical_dims) > 0:
+            out.extend(self._hamming.bounds)
+        return out

@@ -1,0 +1,57 @@
+"""k-nearest-neighbour regression (Table 9 surrogate candidate)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNNRegressor:
+    """Distance-weighted (or uniform) KNN regression on Euclidean distance."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self._X = X
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        k = min(self.n_neighbors, len(self._X))
+        # Pairwise squared distances, computed blockwise to bound memory.
+        out = np.empty(len(X))
+        block = 256
+        for start in range(0, len(X), block):
+            chunk = X[start : start + block]
+            d2 = (
+                np.sum(chunk**2, axis=1)[:, None]
+                - 2.0 * chunk @ self._X.T
+                + np.sum(self._X**2, axis=1)[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(len(chunk))[:, None]
+            if self.weights == "uniform":
+                out[start : start + block] = self._y[nn].mean(axis=1)
+            else:
+                w = 1.0 / (np.sqrt(d2[rows, nn]) + 1e-12)
+                out[start : start + block] = (w * self._y[nn]).sum(axis=1) / w.sum(axis=1)
+        return out

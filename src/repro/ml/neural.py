@@ -1,0 +1,213 @@
+"""Minimal neural-network substrate for the DDPG optimizer.
+
+Implements dense layers with manual backprop, common activations, the Adam
+optimizer, and an :class:`MLP` container exposing input gradients — DDPG's
+actor update needs ``dQ/da`` propagated through the critic.  Architecture
+sizes follow CDBTune (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return (x > 0.0).astype(float)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def tanh_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return 1.0 - y**2
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return y * (1.0 - y)
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def identity_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+_ACTIVATIONS: dict[str, tuple[Callable, Callable]] = {
+    "relu": (relu, relu_grad),
+    "tanh": (tanh, tanh_grad),
+    "sigmoid": (sigmoid, sigmoid_grad),
+    "linear": (identity, identity_grad),
+}
+
+
+class DenseLayer:
+    """Fully connected layer with He/Xavier initialization."""
+
+    def __init__(self, n_in: int, n_out: int, activation: str, rng: np.random.Generator) -> None:
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+        self._act, self._act_grad = _ACTIVATIONS[activation]
+        scale = np.sqrt(2.0 / n_in) if activation == "relu" else np.sqrt(1.0 / n_in)
+        self.W = rng.normal(0.0, scale, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+        self._z: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._z = x @ self.W + self.b
+        self._y = self._act(self._z)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients; return gradient w.r.t. input."""
+        if self._x is None or self._z is None or self._y is None:
+            raise RuntimeError("forward must be called before backward")
+        dz = grad_out * self._act_grad(self._z, self._y)
+        self.dW += self._x.T @ dz
+        self.db += dz.sum(axis=0)
+        return dz @ self.W.T
+
+    def zero_grad(self) -> None:
+        self.dW.fill(0.0)
+        self.db.fill(0.0)
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+
+class MLP:
+    """A stack of dense layers with a uniform training interface."""
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activations: Sequence[str],
+        seed: int | None = None,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if len(activations) != len(layer_sizes) - 1:
+            raise ValueError("one activation per layer required")
+        rng = np.random.default_rng(seed)
+        self.layers = [
+            DenseLayer(layer_sizes[i], layer_sizes[i + 1], activations[i], rng)
+            for i in range(len(layer_sizes) - 1)
+        ]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate; returns the gradient w.r.t. the network input."""
+        grad = np.atleast_2d(np.asarray(grad_out, dtype=float))
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    def copy_weights_from(self, other: "MLP", tau: float = 1.0) -> None:
+        """Polyak-average weights from another network of identical shape.
+
+        ``tau=1`` copies hard; smaller tau gives DDPG's soft target update
+        ``w <- tau * w_source + (1 - tau) * w``.
+        """
+        if not 0.0 < tau <= 1.0:
+            raise ValueError("tau must be in (0, 1]")
+        for mine, theirs in zip(self.params, other.params):
+            if mine.shape != theirs.shape:
+                raise ValueError("network shapes differ")
+            mine *= 1.0 - tau
+            mine += tau * theirs
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Deep copies of all parameter arrays (for checkpointing)."""
+        return [p.copy() for p in self.params]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        params = self.params
+        if len(weights) != len(params):
+            raise ValueError("weight count mismatch")
+        for p, w in zip(params, weights):
+            if p.shape != w.shape:
+                raise ValueError("weight shape mismatch")
+            p[...] = w
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015) over a list of parameter arrays."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be > 0")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError("gradient count mismatch")
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

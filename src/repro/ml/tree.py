@@ -1,0 +1,307 @@
+"""CART regression trees.
+
+The tree exposes its full structure (feature/threshold/children/value
+arrays) because downstream algorithms need more than predictions:
+
+- Gini-score knob ranking counts per-feature splits (Tuneful, paper §3.1),
+- fANOVA decomposes the tree's variance by marginalizing subsets of
+  features over the leaf partition (Hutter et al., 2014),
+- SMAC's surrogate needs per-tree predictions to form an ensemble variance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+_NO_CHILD = -1
+
+
+class DecisionTreeRegressor:
+    """A binary regression tree minimizing squared error.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or
+        ``min_samples_split`` stops growth.
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples in each child of a split.
+    max_features:
+        Number of features examined per split: ``None`` (all), an int,
+        a float fraction, or ``"sqrt"``.  Random forests use ``"sqrt"`` or
+        a fraction to decorrelate trees.
+    seed:
+        Seed for the feature subsampling RNG.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+        # Flat tree structure (filled by fit).
+        self.feature: np.ndarray | None = None
+        self.threshold: np.ndarray | None = None
+        self.left: np.ndarray | None = None
+        self.right: np.ndarray | None = None
+        self.value: np.ndarray | None = None
+        self.n_node_samples: np.ndarray | None = None
+        self.impurity_decrease: np.ndarray | None = None
+        self.n_features_: int = 0
+
+    # ------------------------------------------------------------------
+    def _n_candidate_features(self, d: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return d
+        if mf == "sqrt":
+            return max(1, int(math.sqrt(d)))
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError("float max_features must be in (0, 1]")
+            return max(1, int(round(mf * d)))
+        if isinstance(mf, int):
+            if mf < 1:
+                raise ValueError("int max_features must be >= 1")
+            return min(mf, d)
+        raise ValueError(f"invalid max_features: {mf!r}")
+
+    @staticmethod
+    def _best_split_for_feature(
+        x: np.ndarray, y: np.ndarray, min_leaf: int
+    ) -> tuple[float, float]:
+        """Return (SSE reduction, threshold) of the best split on one feature.
+
+        Uses prefix sums over the sorted column: for a split after position
+        ``i`` (1-based count), reduction = sum_sq_total - (left SSE + right
+        SSE), which only depends on partial sums of y and y^2.
+        """
+        order = np.argsort(x, kind="stable")
+        xs, ys = x[order], y[order]
+        n = len(ys)
+        csum = np.cumsum(ys)
+        total = csum[-1]
+        # Candidate split positions: between i-1 and i where x changes.
+        positions = np.arange(min_leaf, n - min_leaf + 1)
+        if len(positions) == 0:
+            return 0.0, math.nan
+        valid = xs[positions - 1] < xs[positions]
+        positions = positions[valid]
+        if len(positions) == 0:
+            return 0.0, math.nan
+        left_sum = csum[positions - 1]
+        right_sum = total - left_sum
+        n_left = positions.astype(float)
+        n_right = n - n_left
+        # Maximizing SSE reduction == maximizing sum of squared child means
+        # weighted by child size (total SS is constant).
+        score = left_sum**2 / n_left + right_sum**2 / n_right
+        best = int(np.argmax(score))
+        pos = positions[best]
+        base = total**2 / n
+        reduction = float(score[best] - base)
+        threshold = float(0.5 * (xs[pos - 1] + xs[pos]))
+        return reduction, threshold
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        n, d = X.shape
+        self.n_features_ = d
+        rng = np.random.default_rng(self.seed)
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        n_node: list[int] = []
+        decrease: list[float] = []
+
+        k_features = self._n_candidate_features(d)
+
+        def new_node(idx: np.ndarray) -> int:
+            node = len(feature)
+            feature.append(_NO_CHILD)
+            threshold.append(math.nan)
+            left.append(_NO_CHILD)
+            right.append(_NO_CHILD)
+            value.append(float(y[idx].mean()))
+            n_node.append(len(idx))
+            decrease.append(0.0)
+            return node
+
+        # Iterative depth-first construction to avoid recursion limits.
+        root = new_node(np.arange(n))
+        stack: list[tuple[int, np.ndarray, int]] = [(root, np.arange(n), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            if len(idx) < self.min_samples_split:
+                continue
+            if self.max_depth is not None and depth >= self.max_depth:
+                continue
+            y_node = y[idx]
+            if np.all(y_node == y_node[0]):
+                continue
+            if k_features < d:
+                candidates = rng.choice(d, size=k_features, replace=False)
+            else:
+                candidates = np.arange(d)
+            best_gain, best_feat, best_thr = 0.0, -1, math.nan
+            for f in candidates:
+                gain, thr = self._best_split_for_feature(
+                    X[idx, f], y_node, self.min_samples_leaf
+                )
+                if gain > best_gain and not math.isnan(thr):
+                    best_gain, best_feat, best_thr = gain, int(f), thr
+            if best_feat < 0 or best_gain <= 1e-12:
+                continue
+            mask = X[idx, best_feat] <= best_thr
+            left_idx, right_idx = idx[mask], idx[~mask]
+            if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+                continue
+            feature[node] = best_feat
+            threshold[node] = best_thr
+            decrease[node] = best_gain
+            l_node = new_node(left_idx)
+            r_node = new_node(right_idx)
+            left[node] = l_node
+            right[node] = r_node
+            stack.append((l_node, left_idx, depth + 1))
+            stack.append((r_node, right_idx, depth + 1))
+
+        self.feature = np.array(feature, dtype=int)
+        self.threshold = np.array(threshold, dtype=float)
+        self.left = np.array(left, dtype=int)
+        self.right = np.array(right, dtype=int)
+        self.value = np.array(value, dtype=float)
+        self.n_node_samples = np.array(n_node, dtype=int)
+        self.impurity_decrease = np.array(decrease, dtype=float)
+        return self
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.feature is None:
+            raise RuntimeError("tree is not fitted")
+
+    @property
+    def n_nodes(self) -> int:
+        self._check_fitted()
+        assert self.feature is not None
+        return len(self.feature)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Return the leaf index each sample falls into."""
+        self._check_fitted()
+        assert self.feature is not None and self.left is not None
+        assert self.right is not None and self.threshold is not None
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        n = len(X)
+        nodes = np.zeros(n, dtype=int)
+        active = self.feature[nodes] >= 0
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = nodes[idx]
+            feats = self.feature[cur]
+            go_left = X[idx, feats] <= self.threshold[cur]
+            nodes[idx[go_left]] = self.left[cur[go_left]]
+            nodes[idx[~go_left]] = self.right[cur[~go_left]]
+            active = self.feature[nodes] >= 0
+        return nodes
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        assert self.value is not None
+        return self.value[self.apply(X)]
+
+    # ------------------------------------------------------------------
+    # structure accessors used by importance measurements
+    # ------------------------------------------------------------------
+    def split_counts(self) -> np.ndarray:
+        """Number of internal-node splits per feature (Gini score basis)."""
+        self._check_fitted()
+        assert self.feature is not None
+        counts = np.zeros(self.n_features_, dtype=float)
+        for f in self.feature:
+            if f >= 0:
+                counts[f] += 1
+        return counts
+
+    def feature_importances(self) -> np.ndarray:
+        """Normalized total SSE decrease attributable to each feature."""
+        self._check_fitted()
+        assert self.feature is not None and self.impurity_decrease is not None
+        imp = np.zeros(self.n_features_, dtype=float)
+        for f, dec in zip(self.feature, self.impurity_decrease):
+            if f >= 0:
+                imp[f] += dec
+        total = imp.sum()
+        return imp / total if total > 0 else imp
+
+    def leaf_partition(self, bounds: np.ndarray) -> list[tuple[np.ndarray, float]]:
+        """Enumerate leaves as (per-feature interval box, leaf value) pairs.
+
+        ``bounds`` is an ``(d, 2)`` array of feature [lower, upper) limits.
+        Used by fANOVA to integrate marginal predictions exactly.
+        """
+        self._check_fitted()
+        assert self.feature is not None and self.left is not None
+        assert self.right is not None and self.threshold is not None
+        assert self.value is not None
+        bounds = np.asarray(bounds, dtype=float)
+        if bounds.shape != (self.n_features_, 2):
+            raise ValueError(f"bounds must be ({self.n_features_}, 2)")
+        result: list[tuple[np.ndarray, float]] = []
+        stack: list[tuple[int, np.ndarray]] = [(0, bounds.copy())]
+        while stack:
+            node, box = stack.pop()
+            f = self.feature[node]
+            if f < 0:
+                result.append((box, float(self.value[node])))
+                continue
+            thr = self.threshold[node]
+            left_box = box.copy()
+            left_box[f, 1] = min(left_box[f, 1], thr)
+            right_box = box.copy()
+            right_box[f, 0] = max(right_box[f, 0], thr)
+            if left_box[f, 0] < left_box[f, 1]:
+                stack.append((self.left[node], left_box))
+            if right_box[f, 0] < right_box[f, 1]:
+                stack.append((self.right[node], right_box))
+        return result
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor parameters (for cloning in ensembles)."""
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "seed": self.seed,
+        }

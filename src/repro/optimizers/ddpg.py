@@ -1,0 +1,258 @@
+"""DDPG configuration tuning (CDBTune / QTune style).
+
+The agent observes the DBMS internal-metric vector as the MDP state and
+emits a configuration (one action dimension per knob, in unit space).
+Architecture and reward follow CDBTune (paper §4.2):
+
+- actor: state -> 128 -> 128 -> knobs (sigmoid), critic: (state, action)
+  -> 128 -> 128 -> Q, both trained with Adam and Polyak-averaged targets;
+- reward couples the performance change against the *initial* setting and
+  against the *previous* iteration, so improving from a bad region earns
+  quadratically growing reward.
+
+The agent object is separable from the optimizer so a pre-trained agent
+can be transplanted onto a new workload — the paper's fine-tune transfer
+baseline (§3.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dbms.metrics import INTERNAL_METRIC_NAMES, normalized_metrics_vector
+from repro.ml.neural import MLP, Adam
+from repro.optimizers.base import History, Observation, Optimizer
+from repro.space import Configuration, ConfigurationSpace
+
+STATE_DIM = len(INTERNAL_METRIC_NAMES)
+
+
+@dataclass
+class _Transition:
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+
+
+class _RunningNorm:
+    """Online mean/variance normalizer (Welford)."""
+
+    def __init__(self, dim: int) -> None:
+        self.count = 0
+        self.mean = np.zeros(dim)
+        self.m2 = np.ones(dim)
+
+    def update(self, x: np.ndarray) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+
+    def normalize(self, x: np.ndarray) -> np.ndarray:
+        std = np.sqrt(self.m2 / max(self.count, 1))
+        std[std < 1e-8] = 1.0
+        return (x - self.mean) / std
+
+
+class DDPGAgent:
+    """Actor-critic networks, replay buffer, and training loop."""
+
+    def __init__(
+        self,
+        action_dim: int,
+        state_dim: int = STATE_DIM,
+        hidden: int = 128,
+        actor_lr: float = 1e-3,
+        critic_lr: float = 1e-3,
+        gamma: float = 0.9,
+        tau: float = 0.005,
+        batch_size: int = 32,
+        buffer_size: int = 10000,
+        seed: int | None = None,
+    ) -> None:
+        self.action_dim = action_dim
+        self.state_dim = state_dim
+        self.gamma = gamma
+        self.tau = tau
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+        s = lambda: int(self.rng.integers(0, 2**31 - 1))  # noqa: E731
+
+        self.actor = MLP([state_dim, hidden, hidden, action_dim], ["relu", "relu", "sigmoid"], seed=s())
+        self.actor_target = MLP(
+            [state_dim, hidden, hidden, action_dim], ["relu", "relu", "sigmoid"], seed=s()
+        )
+        self.actor_target.copy_weights_from(self.actor)
+        self.critic = MLP(
+            [state_dim + action_dim, hidden, hidden, 1], ["relu", "relu", "linear"], seed=s()
+        )
+        self.critic_target = MLP(
+            [state_dim + action_dim, hidden, hidden, 1], ["relu", "relu", "linear"], seed=s()
+        )
+        self.critic_target.copy_weights_from(self.critic)
+        self.actor_opt = Adam(self.actor.params, lr=actor_lr)
+        self.critic_opt = Adam(self.critic.params, lr=critic_lr)
+        self.buffer: deque[_Transition] = deque(maxlen=buffer_size)
+        self.norm = _RunningNorm(state_dim)
+        self.train_steps = 0
+
+    # ------------------------------------------------------------------
+    def act(self, state: np.ndarray, noise_scale: float = 0.0) -> np.ndarray:
+        action = self.actor.forward(state[None, :]).ravel()
+        if noise_scale > 0:
+            action = action + self.rng.normal(0.0, noise_scale, size=self.action_dim)
+        return np.clip(action, 0.0, 1.0)
+
+    def remember(self, transition: _Transition) -> None:
+        self.buffer.append(transition)
+
+    def train_batch(self) -> float | None:
+        """One gradient step on a replay minibatch; returns critic loss."""
+        if len(self.buffer) < self.batch_size:
+            return None
+        idx = self.rng.integers(0, len(self.buffer), size=self.batch_size)
+        batch = [self.buffer[int(i)] for i in idx]
+        states = np.array([t.state for t in batch])
+        actions = np.array([t.action for t in batch])
+        rewards = np.array([t.reward for t in batch])[:, None]
+        next_states = np.array([t.next_state for t in batch])
+
+        # Critic update: TD target from the target networks.
+        next_actions = self.actor_target.forward(next_states)
+        q_next = self.critic_target.forward(np.hstack([next_states, next_actions]))
+        target = rewards + self.gamma * q_next
+        self.critic.zero_grad()
+        q = self.critic.forward(np.hstack([states, actions]))
+        diff = q - target
+        loss = float(np.mean(diff**2))
+        self.critic.backward(2.0 * diff / len(batch))
+        self.critic_opt.step(self.critic.grads)
+
+        # Actor update: ascend dQ/da through the critic.
+        self.actor.zero_grad()
+        pred_actions = self.actor.forward(states)
+        self.critic.zero_grad()
+        self.critic.forward(np.hstack([states, pred_actions]))
+        grad_input = self.critic.backward(-np.ones((len(batch), 1)) / len(batch))
+        grad_actions = grad_input[:, self.state_dim :]
+        self.actor.backward(grad_actions)
+        self.actor_opt.step(self.actor.grads)
+
+        # Polyak-averaged target updates.
+        self.actor_target.copy_weights_from(self.actor, tau=self.tau)
+        self.critic_target.copy_weights_from(self.critic, tau=self.tau)
+        self.train_steps += 1
+        return loss
+
+    # ------------------------------------------------------------------
+    def get_weights(self) -> dict[str, list[np.ndarray]]:
+        """Checkpoint all four networks (for pre-training / fine-tuning)."""
+        return {
+            "actor": self.actor.get_weights(),
+            "actor_target": self.actor_target.get_weights(),
+            "critic": self.critic.get_weights(),
+            "critic_target": self.critic_target.get_weights(),
+        }
+
+    def set_weights(self, weights: dict[str, list[np.ndarray]]) -> None:
+        self.actor.set_weights(weights["actor"])
+        self.actor_target.set_weights(weights["actor_target"])
+        self.critic.set_weights(weights["critic"])
+        self.critic_target.set_weights(weights["critic_target"])
+
+
+def cdbtune_reward(perf: float, perf_initial: float, perf_prev: float) -> float:
+    """CDBTune's reward from performance relative to start and previous step.
+
+    All inputs are maximization scores.  Division guards make the reward
+    well-defined when scores are negative (latency objectives are negated
+    upstream, so magnitudes are used for the relative deltas).
+    """
+
+    def rel(a: float, b: float) -> float:
+        denom = max(abs(b), 1e-9)
+        return (a - b) / denom
+
+    delta0 = rel(perf, perf_initial)
+    delta_t = rel(perf, perf_prev)
+    if delta0 > 0:
+        return ((1.0 + delta0) ** 2 - 1.0) * abs(1.0 + delta_t)
+    return -(((1.0 - delta0) ** 2) - 1.0) * abs(1.0 - delta_t)
+
+
+class DDPG(Optimizer):
+    """The RL-based optimizer driving a :class:`DDPGAgent`."""
+
+    name = "ddpg"
+    uses_lhs_init = True  # paper seeds all optimizers' first iterations alike
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        seed: int | None = None,
+        agent: DDPGAgent | None = None,
+        noise_initial: float = 0.4,
+        noise_final: float = 0.05,
+        noise_decay_iters: int = 100,
+        train_steps_per_observation: int = 4,
+    ) -> None:
+        super().__init__(space, seed)
+        self.agent = agent if agent is not None else DDPGAgent(space.n_dims, seed=seed)
+        if self.agent.action_dim != space.n_dims:
+            raise ValueError(
+                f"agent action dim {self.agent.action_dim} != space dims {space.n_dims}"
+            )
+        self.noise_initial = noise_initial
+        self.noise_final = noise_final
+        self.noise_decay_iters = noise_decay_iters
+        self.train_steps_per_observation = train_steps_per_observation
+        self._prev_state: np.ndarray | None = None
+        self._prev_action: np.ndarray | None = None
+        self._initial_score: float | None = None
+        self._prev_score: float | None = None
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+    def _state_from(self, observation: Observation | None) -> np.ndarray:
+        if observation is None or not observation.metrics:
+            return np.zeros(self.agent.state_dim)
+        raw = normalized_metrics_vector(observation.metrics)
+        self.agent.norm.update(raw)
+        return self.agent.norm.normalize(raw)
+
+    def _noise_scale(self) -> float:
+        frac = min(self._iteration / max(self.noise_decay_iters, 1), 1.0)
+        return self.noise_initial + frac * (self.noise_final - self.noise_initial)
+
+    def suggest(self, history: History) -> Configuration:
+        last = history.observations[-1] if len(history) else None
+        state = self._state_from(last)
+        action = self.agent.act(state, noise_scale=self._noise_scale())
+        self._prev_state = state
+        self._prev_action = action
+        self._iteration += 1
+        return self.space.decode(action)
+
+    def observe(self, observation: Observation) -> None:
+        score = observation.score
+        if self._initial_score is None and not observation.failed:
+            self._initial_score = score
+        next_state = self._state_from(observation)
+        if self._prev_state is not None and self._prev_action is not None:
+            initial = self._initial_score if self._initial_score is not None else score
+            prev = self._prev_score if self._prev_score is not None else score
+            if observation.failed:
+                reward = -10.0
+            else:
+                reward = cdbtune_reward(score, initial, prev)
+            self.agent.remember(
+                _Transition(self._prev_state, self._prev_action, reward, next_state)
+            )
+            for _ in range(self.train_steps_per_observation):
+                self.agent.train_batch()
+        if not observation.failed:
+            self._prev_score = score

@@ -1,0 +1,33 @@
+"""Heterogeneous configuration spaces (paper Section 2.1).
+
+A DBMS configuration space is a product of continuous, integer, and
+categorical knob domains.  This package provides the knob types, the
+:class:`ConfigurationSpace` container used by every selector and optimizer,
+and stochastic sampling designs (uniform random and Latin Hypercube).
+"""
+
+from repro.space.configuration import Configuration
+from repro.space.parameter import (
+    CategoricalKnob,
+    ContinuousKnob,
+    IntegerKnob,
+    Knob,
+)
+from repro.space.sampling import (
+    LatinHypercubeSampler,
+    latin_hypercube,
+    scrambled_sobol_like,
+)
+from repro.space.space import ConfigurationSpace
+
+__all__ = [
+    "CategoricalKnob",
+    "Configuration",
+    "ConfigurationSpace",
+    "ContinuousKnob",
+    "IntegerKnob",
+    "Knob",
+    "LatinHypercubeSampler",
+    "latin_hypercube",
+    "scrambled_sobol_like",
+]

@@ -1,0 +1,221 @@
+"""The configuration space container shared by all modules.
+
+A :class:`ConfigurationSpace` is an ordered collection of knobs.  It provides
+
+- encode/decode between native :class:`Configuration` objects and unit
+  vectors in ``[0, 1]^d`` (the representation optimizers work in),
+- one-hot encoding for models that need explicit categorical expansion
+  (Lasso, linear surrogates),
+- subspacing (knob selection produces a subspace of the full space),
+- neighbourhood generation for SMAC-style local search.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.space.configuration import Configuration
+from repro.space.parameter import CategoricalKnob, Knob
+
+
+class ConfigurationSpace:
+    """An ordered product of knob domains."""
+
+    def __init__(self, knobs: Iterable[Knob], seed: int | None = None) -> None:
+        self._knobs: list[Knob] = []
+        self._by_name: dict[str, Knob] = {}
+        for knob in knobs:
+            if knob.name in self._by_name:
+                raise ValueError(f"duplicate knob {knob.name!r}")
+            self._knobs.append(knob)
+            self._by_name[knob.name] = knob
+        if not self._knobs:
+            raise ValueError("configuration space must contain at least one knob")
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def knobs(self) -> list[Knob]:
+        return list(self._knobs)
+
+    @property
+    def names(self) -> list[str]:
+        return [k.name for k in self._knobs]
+
+    @property
+    def n_dims(self) -> int:
+        return len(self._knobs)
+
+    def __len__(self) -> int:
+        return len(self._knobs)
+
+    def __iter__(self) -> Iterator[Knob]:
+        return iter(self._knobs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Knob:
+        return self._by_name[name]
+
+    def index_of(self, name: str) -> int:
+        """Return the dimension index of a knob."""
+        for i, knob in enumerate(self._knobs):
+            if knob.name == name:
+                return i
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # masks used by mixed-kernel models
+    # ------------------------------------------------------------------
+    @property
+    def categorical_mask(self) -> np.ndarray:
+        """Boolean mask, True where a dimension is categorical."""
+        return np.array([k.is_categorical for k in self._knobs], dtype=bool)
+
+    @property
+    def continuous_mask(self) -> np.ndarray:
+        """Boolean mask, True where a dimension is numeric (continuous/integer)."""
+        return ~self.categorical_mask
+
+    @property
+    def has_categorical(self) -> bool:
+        return any(k.is_categorical for k in self._knobs)
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Encode a configuration to its unit vector in ``[0, 1]^d``."""
+        return np.array([k.to_unit(config[k.name]) for k in self._knobs], dtype=float)
+
+    def decode(self, vector: Sequence[float]) -> Configuration:
+        """Decode a unit vector to a native :class:`Configuration`."""
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (self.n_dims,):
+            raise ValueError(f"expected vector of shape ({self.n_dims},), got {vec.shape}")
+        return Configuration({k.name: k.from_unit(v) for k, v in zip(self._knobs, vec)})
+
+    def encode_many(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Encode a batch of configurations into an ``(n, d)`` array."""
+        return np.array([self.encode(c) for c in configs], dtype=float)
+
+    def one_hot_dims(self) -> int:
+        """Dimensionality of the one-hot encoding."""
+        total = 0
+        for knob in self._knobs:
+            total += knob.n_choices if isinstance(knob, CategoricalKnob) else 1
+        return total
+
+    def one_hot_encode(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Encode with explicit one-hot expansion of categorical knobs.
+
+        Numeric knobs contribute their unit value; a categorical knob with
+        ``n`` choices contributes an ``n``-length indicator block.
+        """
+        parts: list[np.ndarray] = []
+        for knob in self._knobs:
+            if isinstance(knob, CategoricalKnob):
+                block = np.zeros(knob.n_choices)
+                block[knob.choice_index(config[knob.name])] = 1.0
+                parts.append(block)
+            else:
+                parts.append(np.array([knob.to_unit(config[knob.name])]))
+        return np.concatenate(parts)
+
+    def one_hot_encode_many(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        return np.array([self.one_hot_encode(c) for c in configs], dtype=float)
+
+    def one_hot_feature_names(self) -> list[str]:
+        """Names of the one-hot encoded features, aligned with the encoding."""
+        names: list[str] = []
+        for knob in self._knobs:
+            if isinstance(knob, CategoricalKnob):
+                names.extend(f"{knob.name}={c}" for c in knob.choices)
+            else:
+                names.append(knob.name)
+        return names
+
+    # ------------------------------------------------------------------
+    # configurations
+    # ------------------------------------------------------------------
+    def default_configuration(self) -> Configuration:
+        """The vendor-default configuration."""
+        return Configuration({k.name: k.default for k in self._knobs})
+
+    def sample_configuration(self, rng: np.random.Generator | None = None) -> Configuration:
+        """Draw one uniformly random configuration."""
+        rng = self._rng if rng is None else rng
+        return Configuration({k.name: k.sample(rng) for k in self._knobs})
+
+    def sample_configurations(
+        self, n: int, rng: np.random.Generator | None = None
+    ) -> list[Configuration]:
+        """Draw ``n`` independent uniformly random configurations."""
+        rng = self._rng if rng is None else rng
+        return [self.sample_configuration(rng) for _ in range(n)]
+
+    def validate(self, config: Mapping[str, Any]) -> bool:
+        """Check all knobs are present with in-domain values."""
+        if set(config) != set(self._by_name):
+            return False
+        return all(k.validate(config[k.name]) for k in self._knobs)
+
+    def clip(self, config: Mapping[str, Any]) -> Configuration:
+        """Clamp each knob value into its legal domain."""
+        return Configuration({k.name: k.clip(config[k.name]) for k in self._knobs})
+
+    def complete(self, partial: Mapping[str, Any]) -> Configuration:
+        """Extend a partial assignment with defaults for missing knobs."""
+        values = {k.name: k.default for k in self._knobs}
+        for name, value in partial.items():
+            if name not in self._by_name:
+                raise KeyError(f"unknown knob {name!r}")
+            values[name] = value
+        return Configuration(values)
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def subspace(self, names: Sequence[str], seed: int | None = None) -> "ConfigurationSpace":
+        """Return a new space restricted to the given knobs (in given order)."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise KeyError(f"unknown knobs: {missing}")
+        return ConfigurationSpace([self._by_name[n] for n in names], seed=seed)
+
+    def neighbors(
+        self,
+        config: Mapping[str, Any],
+        rng: np.random.Generator | None = None,
+        n_continuous: int = 4,
+        stdev: float = 0.2,
+    ) -> list[Configuration]:
+        """Generate one-exchange neighbours of a configuration (SMAC-style).
+
+        Numeric knobs get ``n_continuous`` Gaussian perturbations in unit
+        space; categorical knobs get every alternative choice.
+        """
+        rng = self._rng if rng is None else rng
+        base = dict(config)
+        result: list[Configuration] = []
+        for knob in self._knobs:
+            if isinstance(knob, CategoricalKnob):
+                for choice in knob.choices:
+                    if choice != base[knob.name]:
+                        result.append(Configuration({**base, knob.name: choice}))
+            else:
+                u = knob.to_unit(base[knob.name])
+                for _ in range(n_continuous):
+                    nu = float(np.clip(u + rng.normal(0.0, stdev), 0.0, 1.0))
+                    value = knob.from_unit(nu)
+                    if value != base[knob.name]:
+                        result.append(Configuration({**base, knob.name: value}))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConfigurationSpace(n_dims={self.n_dims})"

@@ -1,0 +1,77 @@
+"""The historical-observation repository shared by transfer frameworks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbms.metrics import normalized_metrics_vector
+from repro.optimizers.base import History
+
+
+@dataclass
+class SourceTask:
+    """One historical tuning task: its observations and metric signature."""
+
+    workload_name: str
+    history: History
+    metric_signature: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    def __post_init__(self) -> None:
+        if self.metric_signature.size == 0:
+            self.metric_signature = mean_metric_signature(self.history)
+
+    def training_data(self) -> tuple[np.ndarray, np.ndarray]:
+        """Encoded configurations and z-normalized scores.
+
+        Scores are standardized per task so surrogates trained on data
+        from different workloads (whose raw throughputs differ by orders
+        of magnitude) are comparable.
+        """
+        X = self.history.encoded()
+        y = self.history.scores()
+        std = y.std()
+        return X, (y - y.mean()) / (std if std > 0 else 1.0)
+
+
+def mean_metric_signature(history: History) -> np.ndarray:
+    """Average normalized internal-metric vector over successful observations."""
+    vectors = [
+        normalized_metrics_vector(o.metrics) for o in history.successful() if o.metrics
+    ]
+    if not vectors:
+        return np.array([])
+    return np.mean(vectors, axis=0)
+
+
+class TransferRepository:
+    """Holds source tasks and answers similarity queries."""
+
+    def __init__(self, tasks: list[SourceTask] | None = None) -> None:
+        self.tasks: list[SourceTask] = list(tasks) if tasks else []
+
+    def add(self, task: SourceTask) -> None:
+        self.tasks.append(task)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def most_similar(self, target_signature: np.ndarray) -> SourceTask:
+        """Source task with the smallest metric-signature distance."""
+        if not self.tasks:
+            raise ValueError("repository is empty")
+        best, best_dist = None, float("inf")
+        for task in self.tasks:
+            if task.metric_signature.size == 0 or target_signature.size == 0:
+                dist = float("inf")
+            else:
+                dist = float(np.linalg.norm(task.metric_signature - target_signature))
+            if dist < best_dist:
+                best, best_dist = task, dist
+        if best is None:
+            best = self.tasks[0]
+        return best

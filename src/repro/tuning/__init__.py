@@ -1,0 +1,33 @@
+"""Tuning sessions, objectives, and evaluation metrics (paper §4, §7.1).
+
+- :class:`DatabaseObjective` turns a simulated server + knob subspace into
+  a callable optimizers can evaluate;
+- :class:`TuningSession` drives the iterate-evaluate-update loop with LHS
+  initialization and failure clamping;
+- :mod:`repro.tuning.metrics` computes the paper's reported quantities:
+  improvement over default, performance enhancement (Eq. 4), speedup
+  (Eq. 5), and average rankings.
+"""
+
+from repro.tuning.metrics import (
+    average_ranks,
+    improvement_over_default,
+    performance_enhancement,
+    speedup,
+)
+from repro.tuning.objective import DatabaseObjective, SurrogateObjective
+from repro.tuning.path_search import PathResult, PathSearch, TuningPath
+from repro.tuning.session import TuningSession
+
+__all__ = [
+    "DatabaseObjective",
+    "PathResult",
+    "PathSearch",
+    "SurrogateObjective",
+    "TuningPath",
+    "TuningSession",
+    "average_ranks",
+    "improvement_over_default",
+    "performance_enhancement",
+    "speedup",
+]

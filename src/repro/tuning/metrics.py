@@ -1,0 +1,94 @@
+"""Evaluation metrics reported by the paper.
+
+- improvement over the default configuration (Figures 3, 5, 7),
+- performance enhancement of a transfer framework (Eq. 4),
+- speedup of a transfer framework (Eq. 5),
+- average rank across experiment settings (Tables 6, 7, 8).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.optimizers.base import History
+
+
+def improvement_over_default(best_objective: float, default_objective: float, direction: str) -> float:
+    """Relative improvement of the best found objective over the default.
+
+    Throughput (``direction="max"``): ``(best - default) / default``;
+    latency (``direction="min"``): ``(default - best) / default``.
+    """
+    if default_objective == 0:
+        raise ValueError("default objective must be non-zero")
+    if direction == "max":
+        return (best_objective - default_objective) / default_objective
+    if direction == "min":
+        return (default_objective - best_objective) / default_objective
+    raise ValueError("direction must be 'max' or 'min'")
+
+
+def performance_enhancement(best_with_transfer: float, best_without: float) -> float:
+    """Eq. 4: relative score gain of transfer over the base optimizer.
+
+    Inputs are maximization *scores*; magnitudes are used in the
+    denominator so negated-latency scores behave sensibly.
+    """
+    denom = max(abs(best_without), 1e-12)
+    return (best_with_transfer - best_without) / denom
+
+
+def speedup(base_history: History, transfer_history: History) -> float | None:
+    """Eq. 5: iterations to the base optimum without transfer, divided by
+    iterations for the transferred optimizer to beat that optimum.
+
+    Returns ``None`` (the paper's "x") when the transferred optimizer
+    never finds a configuration better than the base optimum.
+    """
+    base_best = base_history.best().score
+    steps_base = base_history.iterations_to_reach(base_best)
+    assert steps_base is not None
+    steps_transfer = None
+    for i, obs in enumerate(transfer_history):
+        if not obs.failed and obs.score > base_best:
+            steps_transfer = i + 1
+            break
+    if steps_transfer is None:
+        return None
+    return steps_base / steps_transfer
+
+
+def average_ranks(results: Mapping[str, Sequence[float]], higher_is_better: bool = True) -> dict[str, float]:
+    """Average rank of each method across experiment settings.
+
+    ``results[method]`` is that method's metric in each setting (all
+    methods must cover the same settings).  Rank 1 is best; ties share the
+    average rank — the convention behind Tables 6, 7, and 8.
+    """
+    methods = list(results)
+    if not methods:
+        return {}
+    n_settings = len(results[methods[0]])
+    for m in methods:
+        if len(results[m]) != n_settings:
+            raise ValueError("all methods must have the same number of settings")
+    ranks = {m: 0.0 for m in methods}
+    for j in range(n_settings):
+        values = np.array([results[m][j] for m in methods], dtype=float)
+        if higher_is_better:
+            values = -values
+        order = np.argsort(values, kind="stable")
+        setting_ranks = np.empty(len(methods))
+        i = 0
+        sorted_vals = values[order]
+        while i < len(methods):
+            k = i
+            while k + 1 < len(methods) and sorted_vals[k + 1] == sorted_vals[i]:
+                k += 1
+            setting_ranks[order[i : k + 1]] = 0.5 * (i + k) + 1.0
+            i = k + 1
+        for idx, m in enumerate(methods):
+            ranks[m] += setting_ranks[idx]
+    return {m: ranks[m] / n_settings for m in methods}

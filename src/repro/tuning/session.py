@@ -1,0 +1,102 @@
+"""The tuning-session driver (paper §4.1).
+
+Each session: 10 LHS initial configurations (for optimizers that use
+them), then iterate suggest -> stress test -> observe up to the budget.
+Failed evaluations are clamped to the worst score seen so far ("to avoid
+the scaling problem", §4.1).  Per-iteration suggest wall-time is recorded
+— that is the *algorithm overhead* of Figure 9.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from repro.optimizers.base import History, Observation, Optimizer
+from repro.space import ConfigurationSpace
+from repro.space.sampling import LatinHypercubeSampler
+
+
+class Objective(Protocol):
+    """What a session evaluates (database or surrogate objective)."""
+
+    def __call__(self, config) -> Observation: ...
+
+    def failure_fallback_score(self) -> float: ...
+
+    def default_score(self) -> float: ...
+
+
+class TuningSession:
+    """Runs one optimizer against one objective over one knob subspace."""
+
+    def __init__(
+        self,
+        objective: Objective,
+        optimizer: Optimizer,
+        space: ConfigurationSpace,
+        max_iterations: int = 200,
+        n_initial: int = 10,
+        seed: int | None = None,
+        warm_start: list[Observation] | None = None,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.objective = objective
+        self.optimizer = optimizer
+        self.space = space
+        self.max_iterations = max_iterations
+        self.n_initial = n_initial if optimizer.uses_lhs_init else 0
+        self.seed = seed
+        self.history = History(space)
+        if warm_start:
+            for obs in warm_start:
+                self.history.append(obs)
+                self.optimizer.observe(obs)
+
+    def _clamp_failure(self, obs: Observation) -> None:
+        """Assign a failed observation the worst score seen so far."""
+        worst = self.history.worst_score()
+        obs.score = worst if worst is not None else self.objective.failure_fallback_score()
+
+    def _record(self, obs: Observation, suggest_seconds: float) -> None:
+        obs.suggest_seconds = suggest_seconds
+        if obs.failed:
+            self._clamp_failure(obs)
+        self.history.append(obs)
+        self.optimizer.observe(obs)
+
+    def run(self, callback=None) -> History:
+        """Execute the session; returns the populated history.
+
+        ``callback(iteration, observation)``, when given, is invoked after
+        every evaluation (used by incremental knob-selection loops).
+        """
+        sampler = LatinHypercubeSampler(self.space, seed=self.seed)
+        initial = sampler.sample(self.n_initial) if self.n_initial > 0 else []
+        for i in range(self.max_iterations):
+            if i < len(initial):
+                config, suggest_seconds = initial[i], 0.0
+            else:
+                t0 = time.perf_counter()
+                config = self.optimizer.suggest(self.history)
+                suggest_seconds = time.perf_counter() - t0
+            obs = self.objective(config)
+            self._record(obs, suggest_seconds)
+            if callback is not None:
+                callback(i, obs)
+        return self.history
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    def best_observation(self) -> Observation:
+        return self.history.best()
+
+    def suggest_overhead_seconds(self) -> list[float]:
+        """Per-iteration algorithm overhead (Figure 9's y-axis)."""
+        return [o.suggest_seconds for o in self.history]
+
+    def total_simulated_hours(self) -> float:
+        """Simulated wall-clock the paper's real testbed would have spent."""
+        return sum(o.simulated_seconds for o in self.history) / 3600.0

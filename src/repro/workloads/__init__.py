@@ -1,0 +1,42 @@
+"""The paper's nine benchmark workloads (Table 4).
+
+Each workload is represented by a :class:`WorkloadProfile` that carries the
+characteristics the paper reports (class, data size, table count, read-only
+transaction fraction) plus the access-pattern parameters that drive the
+simulated DBMS response surface (point/range/join mix, temp-table pressure,
+working-set size, client parallelism, and the objective direction).
+"""
+
+from repro.workloads.profiles import (
+    ALL_WORKLOADS,
+    JOB,
+    OLTP_WORKLOADS,
+    SEATS,
+    SIBENCH,
+    SMALLBANK,
+    SYSBENCH,
+    TATP,
+    TPCC,
+    TWITTER,
+    VOTER,
+    WorkloadProfile,
+    get_workload,
+    workload_table,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "JOB",
+    "OLTP_WORKLOADS",
+    "SEATS",
+    "SIBENCH",
+    "SMALLBANK",
+    "SYSBENCH",
+    "TATP",
+    "TPCC",
+    "TWITTER",
+    "VOTER",
+    "WorkloadProfile",
+    "get_workload",
+    "workload_table",
+]

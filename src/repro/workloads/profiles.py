@@ -1,0 +1,315 @@
+"""Workload profiles reproducing the paper's Table 4.
+
+The first four fields of every profile (class, size, tables, read-only
+fraction) are the paper's reported values.  The remaining fields
+parameterize the simulated response surface:
+
+- ``point_read_frac`` / ``range_scan_frac`` / ``join_complexity`` — access mix,
+- ``writes_per_txn`` / ``reads_per_txn`` — logical row operations,
+- ``secondary_index_write_frac`` — how much writes touch secondary indexes
+  (drives the benefit of InnoDB change buffering),
+- ``temp_table_intensity`` — grouping/sorting pressure (drives
+  ``tmp_table_size`` / ``sort_buffer_size`` effects),
+- ``repetitive_read_frac`` — identical-statement reads (query-cache upside),
+- ``working_set_gb`` — hot data size (drives buffer-pool sensitivity),
+- ``client_threads`` — replay parallelism (drives concurrency knobs),
+- ``contention`` — row-conflict propensity (drives lock/contention costs),
+- ``base_throughput`` (txn/s) or ``base_latency_s`` — scale anchors at the
+  default configuration on instance B, matching the paper's observation
+  that JOB's default 95%-latency is roughly 200 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A workload as seen by the simulated DBMS."""
+
+    name: str
+    wclass: str  # Analytical | Transactional | Web-Oriented | Feature Testing
+    size_gb: float
+    n_tables: int
+    read_only_frac: float
+
+    point_read_frac: float
+    range_scan_frac: float
+    join_complexity: float
+    reads_per_txn: float
+    writes_per_txn: float
+    secondary_index_write_frac: float
+    temp_table_intensity: float
+    repetitive_read_frac: float
+    working_set_gb: float
+    client_threads: int
+    contention: float
+
+    objective: str = "throughput"  # "throughput" (maximize) or "latency95" (minimize)
+    base_throughput: float = 1000.0  # txn/s at default config on instance B
+    base_latency_s: float = 0.0  # 95% latency at default config on instance B
+
+    # Derived descriptive tags (not used by the engine).
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("throughput", "latency95"):
+            raise ValueError(f"{self.name}: invalid objective {self.objective!r}")
+        for frac_name in (
+            "read_only_frac",
+            "point_read_frac",
+            "range_scan_frac",
+            "join_complexity",
+            "secondary_index_write_frac",
+            "temp_table_intensity",
+            "repetitive_read_frac",
+            "contention",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {frac_name}={value} out of [0, 1]")
+        if self.client_threads < 1:
+            raise ValueError(f"{self.name}: client_threads must be >= 1")
+
+    @property
+    def write_frac(self) -> float:
+        """Fraction of transactions performing writes."""
+        return 1.0 - self.read_only_frac
+
+    @property
+    def is_analytical(self) -> bool:
+        return self.objective == "latency95"
+
+    def scaled(self, **overrides: object) -> "WorkloadProfile":
+        """Return a modified copy (e.g. different client parallelism)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+JOB = WorkloadProfile(
+    name="JOB",
+    wclass="Analytical",
+    size_gb=9.3,
+    n_tables=21,
+    read_only_frac=1.0,
+    point_read_frac=0.05,
+    range_scan_frac=0.55,
+    join_complexity=0.95,
+    reads_per_txn=50000.0,
+    writes_per_txn=0.0,
+    secondary_index_write_frac=0.0,
+    temp_table_intensity=0.85,
+    repetitive_read_frac=0.1,
+    working_set_gb=8.5,
+    client_threads=4,
+    contention=0.0,
+    objective="latency95",
+    base_throughput=0.0,
+    base_latency_s=200.0,
+    description="113 multi-join analytical queries over the IMDB dataset",
+)
+
+SYSBENCH = WorkloadProfile(
+    name="SYSBENCH",
+    wclass="Transactional",
+    size_gb=24.8,
+    n_tables=150,
+    read_only_frac=0.43,
+    point_read_frac=0.62,
+    range_scan_frac=0.18,
+    join_complexity=0.05,
+    reads_per_txn=14.0,
+    writes_per_txn=4.0,
+    secondary_index_write_frac=0.5,
+    temp_table_intensity=0.08,
+    repetitive_read_frac=0.35,
+    working_set_gb=12.0,
+    client_threads=64,
+    contention=0.15,
+    base_throughput=4200.0,
+    description="sysbench OLTP read-write over 150 tables",
+)
+
+TPCC = WorkloadProfile(
+    name="TPC-C",
+    wclass="Transactional",
+    size_gb=17.8,
+    n_tables=9,
+    read_only_frac=0.08,
+    point_read_frac=0.55,
+    range_scan_frac=0.15,
+    join_complexity=0.15,
+    reads_per_txn=30.0,
+    writes_per_txn=20.0,
+    secondary_index_write_frac=0.6,
+    temp_table_intensity=0.05,
+    repetitive_read_frac=0.2,
+    working_set_gb=9.0,
+    client_threads=64,
+    contention=0.45,
+    base_throughput=1800.0,
+    description="order-entry OLTP with heavy writes and hotspots",
+)
+
+SEATS = WorkloadProfile(
+    name="SEATS",
+    wclass="Transactional",
+    size_gb=12.7,
+    n_tables=10,
+    read_only_frac=0.45,
+    point_read_frac=0.5,
+    range_scan_frac=0.25,
+    join_complexity=0.2,
+    reads_per_txn=22.0,
+    writes_per_txn=6.0,
+    secondary_index_write_frac=0.5,
+    temp_table_intensity=0.1,
+    repetitive_read_frac=0.25,
+    working_set_gb=7.0,
+    client_threads=64,
+    contention=0.3,
+    base_throughput=2600.0,
+    description="airline seat reservation OLTP",
+)
+
+SMALLBANK = WorkloadProfile(
+    name="Smallbank",
+    wclass="Transactional",
+    size_gb=2.4,
+    n_tables=3,
+    read_only_frac=0.15,
+    point_read_frac=0.85,
+    range_scan_frac=0.02,
+    join_complexity=0.02,
+    reads_per_txn=4.0,
+    writes_per_txn=3.0,
+    secondary_index_write_frac=0.2,
+    temp_table_intensity=0.01,
+    repetitive_read_frac=0.4,
+    working_set_gb=1.8,
+    client_threads=64,
+    contention=0.35,
+    base_throughput=9000.0,
+    description="banking micro-transactions over three tables",
+)
+
+TATP = WorkloadProfile(
+    name="TATP",
+    wclass="Transactional",
+    size_gb=6.3,
+    n_tables=4,
+    read_only_frac=0.40,
+    point_read_frac=0.9,
+    range_scan_frac=0.02,
+    join_complexity=0.03,
+    reads_per_txn=3.0,
+    writes_per_txn=2.0,
+    secondary_index_write_frac=0.3,
+    temp_table_intensity=0.01,
+    repetitive_read_frac=0.5,
+    working_set_gb=4.5,
+    client_threads=64,
+    contention=0.2,
+    base_throughput=12000.0,
+    description="telecom subscriber lookups and updates",
+)
+
+VOTER = WorkloadProfile(
+    name="Voter",
+    wclass="Transactional",
+    size_gb=0.00006,
+    n_tables=3,
+    read_only_frac=0.0,
+    point_read_frac=0.3,
+    range_scan_frac=0.0,
+    join_complexity=0.01,
+    reads_per_txn=2.0,
+    writes_per_txn=2.0,
+    secondary_index_write_frac=0.3,
+    temp_table_intensity=0.0,
+    repetitive_read_frac=0.1,
+    working_set_gb=0.0001,
+    client_threads=64,
+    contention=0.5,
+    base_throughput=16000.0,
+    description="tiny insert-only televoting workload",
+)
+
+TWITTER = WorkloadProfile(
+    name="Twitter",
+    wclass="Web-Oriented",
+    size_gb=7.9,
+    n_tables=5,
+    read_only_frac=0.009,
+    point_read_frac=0.7,
+    range_scan_frac=0.2,
+    join_complexity=0.1,
+    reads_per_txn=8.0,
+    writes_per_txn=3.0,
+    secondary_index_write_frac=0.7,
+    temp_table_intensity=0.06,
+    repetitive_read_frac=0.3,
+    working_set_gb=3.5,
+    client_threads=64,
+    contention=0.55,
+    base_throughput=5200.0,
+    description="micro-blogging with skewed follower graph access",
+)
+
+SIBENCH = WorkloadProfile(
+    name="SIBench",
+    wclass="Feature Testing",
+    size_gb=0.0005,
+    n_tables=1,
+    read_only_frac=0.5,
+    point_read_frac=0.5,
+    range_scan_frac=0.5,
+    join_complexity=0.0,
+    reads_per_txn=10.0,
+    writes_per_txn=1.0,
+    secondary_index_write_frac=0.1,
+    temp_table_intensity=0.0,
+    repetitive_read_frac=0.2,
+    working_set_gb=0.0005,
+    client_threads=32,
+    contention=0.6,
+    base_throughput=14000.0,
+    description="snapshot-isolation feature test over one table",
+)
+
+ALL_WORKLOADS: dict[str, WorkloadProfile] = {
+    w.name: w
+    for w in (JOB, SYSBENCH, TPCC, SEATS, SMALLBANK, TATP, VOTER, TWITTER, SIBENCH)
+}
+
+#: The eight OLTP workloads used for the knowledge-transfer study (paper §7).
+OLTP_WORKLOADS: tuple[str, ...] = (
+    "SYSBENCH",
+    "TPC-C",
+    "Twitter",
+    "Smallbank",
+    "SIBench",
+    "Voter",
+    "SEATS",
+    "TATP",
+)
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Look up a workload by its Table 4 name (case-insensitive)."""
+    for key, profile in ALL_WORKLOADS.items():
+        if key.lower() == name.lower():
+            return profile
+    raise KeyError(f"unknown workload {name!r}; available: {sorted(ALL_WORKLOADS)}")
+
+
+def workload_table() -> list[tuple[str, str, str, int, str]]:
+    """Rows of the paper's Table 4: (workload, class, size, tables, read-only %)."""
+    rows = []
+    for w in ALL_WORKLOADS.values():
+        if w.size_gb >= 1.0:
+            size = f"{w.size_gb:.1f}G"
+        else:
+            size = f"{w.size_gb * 1024:.2g}M"
+        rows.append((w.name, w.wclass, size, w.n_tables, f"{w.read_only_frac * 100:.1f}%"))
+    return rows

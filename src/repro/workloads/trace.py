@@ -1,0 +1,108 @@
+"""Per-transaction trace synthesis for OLTP stress tests.
+
+The engine produces aggregate throughput; real controllers (OLTP-Bench)
+also report per-transaction latency percentiles.  This module expands an
+aggregate stress-test result into a synthetic transaction trace whose
+latency distribution is consistent with the aggregate numbers:
+
+- mean latency follows Little's law (``threads / throughput``),
+- the body is lognormal (typical of OLTP latency distributions),
+- checkpoint/flush stalls appear as a heavy tail whose mass grows with
+  the workload's write fraction and observed dirty-page pressure.
+
+Traces make latency-percentile objectives (p95/p99) available for OLTP
+workloads, mirroring the paper's note that any chosen metric can be the
+tuning objective (§2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dbms.server import StressTestResult
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass
+class TransactionTrace:
+    """A synthesized stress-test trace."""
+
+    latencies_ms: np.ndarray
+    duration_s: float
+    threads: int
+
+    @property
+    def throughput(self) -> float:
+        """Transactions per second implied by the trace."""
+        return len(self.latencies_ms) / self.duration_s
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in milliseconds (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        return float(np.percentile(self.latencies_ms, q))
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return float(self.latencies_ms.mean())
+
+
+def synthesize_trace(
+    result: StressTestResult,
+    workload: WorkloadProfile,
+    duration_s: float = 180.0,
+    seed: int | None = None,
+    max_transactions: int = 200_000,
+) -> TransactionTrace:
+    """Expand an aggregate stress-test result into a transaction trace.
+
+    The trace reproduces the aggregate throughput exactly (up to the
+    transaction-count cap) and synthesizes a latency distribution whose
+    mean satisfies Little's law for the workload's client parallelism.
+    """
+    if result.failed:
+        raise ValueError("cannot synthesize a trace for a failed stress test")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = np.random.default_rng(seed)
+    tps = float(result.objective)
+    threads = workload.client_threads
+    n = int(min(tps * duration_s, max_transactions))
+    if n < 1:
+        raise ValueError("throughput too low to synthesize a trace")
+
+    mean_ms = 1000.0 * threads / tps  # Little's law
+    # Lognormal body with coefficient of variation ~0.6.
+    cv = 0.6
+    sigma = np.sqrt(np.log(1.0 + cv**2))
+    mu = np.log(mean_ms) - 0.5 * sigma**2
+    latencies = rng.lognormal(mu, sigma, size=n)
+
+    # Heavy stall tail: fraction of transactions hit a checkpoint stall.
+    dirty_pressure = min(result.metrics.get("bp_pages_dirty_pct", 0.0) / 100.0, 1.0)
+    stall_frac = 0.02 * workload.write_frac * (0.5 + dirty_pressure)
+    n_stalled = int(n * stall_frac)
+    if n_stalled > 0:
+        idx = rng.choice(n, size=n_stalled, replace=False)
+        latencies[idx] *= rng.uniform(4.0, 12.0, size=n_stalled)
+
+    # Renormalize the mean so Little's law still holds after the tail.
+    latencies *= mean_ms / latencies.mean()
+    return TransactionTrace(latencies_ms=latencies, duration_s=duration_s, threads=threads)
+
+
+def latency_percentile_objective(
+    result: StressTestResult,
+    workload: WorkloadProfile,
+    q: float = 95.0,
+    seed: int | None = None,
+) -> float:
+    """A p-quantile latency objective (ms) derived from the trace.
+
+    Deterministic given the seed, so it can serve as a session objective
+    (minimize) in place of throughput.
+    """
+    trace = synthesize_trace(result, workload, seed=seed)
+    return trace.percentile(q)

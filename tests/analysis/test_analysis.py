@@ -1,0 +1,78 @@
+"""Tests for sensitivity analysis, overhead accounting, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    overhead_at_checkpoints,
+    sensitivity_analysis,
+)
+from repro.analysis.overhead import cumulative_overhead
+from repro.selection import GiniImportance
+
+
+class TestSensitivity:
+    def test_points_cover_requested_sizes(self, mysql_space, sysbench_pool):
+        configs, scores, default_score = sysbench_pool
+        points = sensitivity_analysis(
+            lambda s: GiniImportance(mysql_space, seed=s, n_trees=8),
+            configs,
+            scores,
+            default_score,
+            sample_sizes=[40, 120],
+            n_repeats=2,
+            seed=0,
+        )
+        assert [p.n_samples for p in points] == [40, 120]
+        for p in points:
+            assert 0.0 <= p.similarity <= 1.0
+            assert np.isfinite(p.r2)
+
+    def test_more_samples_do_not_hurt_stability(self, mysql_space, sysbench_pool):
+        configs, scores, default_score = sysbench_pool
+        points = sensitivity_analysis(
+            lambda s: GiniImportance(mysql_space, seed=s, n_trees=8),
+            configs,
+            scores,
+            default_score,
+            sample_sizes=[30, 200],
+            n_repeats=3,
+            seed=1,
+        )
+        assert points[1].similarity >= points[0].similarity - 0.25
+
+
+class TestOverhead:
+    def test_checkpoints(self):
+        times = list(np.linspace(0.1, 2.0, 200))
+        out = overhead_at_checkpoints(times, checkpoints=(50, 100, 200, 400))
+        assert set(out) == {50, 100, 200}  # 400 exceeds the session
+        assert out[200] > out[50]  # growing overhead detected
+
+    def test_window_averaging(self):
+        times = [1.0] * 49 + [100.0]
+        out = overhead_at_checkpoints(times, checkpoints=(50,), window=10)
+        assert out[50] == pytest.approx((9 * 1.0 + 100.0) / 10)
+
+    def test_cumulative(self):
+        assert cumulative_overhead([1.0, 2.0, 3.0]) == 6.0
+
+
+class TestReport:
+    def test_alignment_and_nan(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.23], ["bb", float("nan")]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in table
+        assert "x" in lines[-1]  # NaN rendered as the paper's "x"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_large_floats_rounded(self):
+        table = format_table(["v"], [[12345.678]])
+        assert "12346" in table

@@ -1,0 +1,49 @@
+"""Additional rendering tests: report tables and chart downsampling."""
+
+import math
+
+from repro.analysis.charts import sparkline, trajectory_chart
+from repro.analysis.report import format_table
+
+
+class TestSparklineDownsampling:
+    def test_block_max_preserves_peaks(self):
+        """A single spike must survive downsampling (block max, not mean)."""
+        series = [0.0] * 200
+        series[137] = 10.0
+        line = sparkline(series, width=40)
+        assert "█" in line
+
+    def test_negative_values(self):
+        line = sparkline([-5.0, -1.0, -3.0])
+        assert len(line) == 3
+        assert line[1] == "█"  # max of the series
+
+    def test_mixed_nan_series(self):
+        line = sparkline([math.nan, 1.0, math.nan, 2.0])
+        assert len(line) == 2
+
+
+class TestTrajectoryChart:
+    def test_value_format_applied(self):
+        chart = trajectory_chart({"m": [0.1234, 0.5678]}, value_format="{:.2f}")
+        assert chart.endswith("0.57")
+
+    def test_all_nan_series_renders_dash(self):
+        chart = trajectory_chart({"m": [math.nan, math.nan]})
+        assert chart.endswith("-")
+
+
+class TestFormatTableExtra:
+    def test_unicode_content_alignment(self):
+        table = format_table(["k", "v"], [["é", 1.0], ["long-name", 2.0]])
+        lines = table.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+    def test_integer_cells_unrounded(self):
+        table = format_table(["n"], [[1234567]])
+        assert "1234567" in table

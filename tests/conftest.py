@@ -1,0 +1,83 @@
+"""Shared fixtures: small spaces, quick servers, and cached sample pools."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dbms.catalog import mysql_knob_space
+from repro.dbms.server import MySQLServer
+from repro.selection.base import collect_samples
+from repro.space import (
+    CategoricalKnob,
+    ConfigurationSpace,
+    ContinuousKnob,
+    IntegerKnob,
+)
+
+#: A representative SYSBENCH-impactful knob subset used across tests.
+SYSBENCH_KNOBS = [
+    "innodb_flush_log_at_trx_commit",
+    "sync_binlog",
+    "innodb_log_file_size",
+    "innodb_io_capacity",
+    "innodb_buffer_pool_size",
+    "innodb_doublewrite",
+    "innodb_flush_method",
+    "innodb_thread_concurrency",
+    "thread_cache_size",
+    "innodb_write_io_threads",
+]
+
+
+@pytest.fixture
+def tiny_space() -> ConfigurationSpace:
+    """A 4-knob mixed space for unit tests."""
+    return ConfigurationSpace(
+        [
+            ContinuousKnob("x", 0.0, 1.0, 0.5),
+            IntegerKnob("n", 1, 1024, 16, log=True),
+            CategoricalKnob("mode", ["a", "b", "c"], "a"),
+            IntegerKnob("count", 0, 100, 10),
+        ],
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def mysql_space() -> ConfigurationSpace:
+    """The full 197-knob MySQL space on instance B."""
+    return mysql_knob_space("B", seed=0)
+
+
+@pytest.fixture(scope="session")
+def sysbench_space() -> ConfigurationSpace:
+    """A 10-knob impactful SYSBENCH subspace."""
+    return mysql_knob_space("B", knob_names=SYSBENCH_KNOBS, seed=0)
+
+
+@pytest.fixture
+def sysbench_server() -> MySQLServer:
+    return MySQLServer("SYSBENCH", "B", seed=11)
+
+
+@pytest.fixture
+def job_server() -> MySQLServer:
+    return MySQLServer("JOB", "B", seed=12)
+
+
+@pytest.fixture(scope="session")
+def sysbench_pool(mysql_space):
+    """A cached 500-sample LHS pool over the full space (configs, scores,
+    default score)."""
+    server = MySQLServer("SYSBENCH", "B", seed=7)
+    return collect_samples(server, mysql_space, 500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_regression_data():
+    """Synthetic regression data with known structure."""
+    rng = np.random.default_rng(0)
+    X = rng.random((250, 6))
+    y = 4.0 * X[:, 0] - 3.0 * X[:, 1] + 2.0 * X[:, 2] * X[:, 3] + rng.normal(0, 0.05, 250)
+    return X, y

@@ -1,0 +1,88 @@
+"""Tests for the configuration advisor."""
+
+import pytest
+
+from repro.dbms.advisor import Advice, lint_configuration
+from repro.dbms.catalog import mysql_knob_space
+
+GB = 1024**3
+MB = 1024**2
+
+
+@pytest.fixture(scope="module")
+def space():
+    return mysql_knob_space("B", seed=0)
+
+
+class TestAdvisor:
+    def test_default_config_has_no_critical_findings(self, space):
+        findings = lint_configuration(
+            space.default_configuration(), "B", "SYSBENCH"
+        )
+        assert not [f for f in findings if f.severity == "critical"]
+
+    def test_oom_config_is_critical(self, space):
+        config = space.default_configuration().with_values(
+            innodb_buffer_pool_size=38 * GB
+        )
+        findings = lint_configuration(config, "B", "SYSBENCH")
+        assert any(
+            f.severity == "critical" and f.knob == "innodb_buffer_pool_size"
+            for f in findings
+        )
+
+    def test_small_buffer_pool_warned(self, space):
+        config = space.default_configuration().with_values(
+            innodb_buffer_pool_size=1 * GB
+        )
+        findings = lint_configuration(config, "B")
+        assert any(f.knob == "innodb_buffer_pool_size" for f in findings)
+
+    def test_durability_tradeoff_is_info(self, space):
+        config = space.default_configuration().with_values(
+            innodb_flush_log_at_trx_commit="0"
+        )
+        findings = lint_configuration(config, "B")
+        flush = [f for f in findings if f.knob == "innodb_flush_log_at_trx_commit"]
+        assert flush and flush[0].severity == "info"
+
+    def test_query_cache_trap_flagged(self, space):
+        config = space.default_configuration().with_values(
+            query_cache_type="ON", query_cache_size=256 * MB
+        )
+        findings = lint_configuration(config, "B")
+        assert any(f.knob == "query_cache_type" for f in findings)
+
+    def test_max_connections_vs_clients(self, space):
+        config = space.default_configuration().with_values(max_connections=10)
+        findings = lint_configuration(config, "B", "SYSBENCH")
+        assert any(
+            f.severity == "critical" and f.knob == "max_connections"
+            for f in findings
+        )
+
+    def test_tiny_redo_log_warned_for_write_heavy(self, space):
+        config = space.default_configuration().with_values(
+            innodb_log_file_size=4 * MB
+        )
+        findings = lint_configuration(config, "B", "TPC-C")
+        assert any(f.knob == "innodb_log_file_size" for f in findings)
+
+    def test_findings_sorted_by_severity(self, space):
+        config = space.default_configuration().with_values(
+            innodb_buffer_pool_size=38 * GB,
+            innodb_flush_log_at_trx_commit="0",
+        )
+        findings = lint_configuration(config, "B", "SYSBENCH")
+        severities = [f.severity for f in findings]
+        order = {"critical": 0, "warning": 1, "info": 2}
+        assert severities == sorted(severities, key=order.get)
+
+    def test_advice_str(self):
+        text = str(Advice("warning", "some_knob", "message"))
+        assert "warning" in text and "some_knob" in text
+
+    def test_no_workload_skips_workload_checks(self, space):
+        config = space.default_configuration().with_values(max_connections=10)
+        findings = lint_configuration(config, "B")
+        assert not any(f.knob == "max_connections" for f in findings)

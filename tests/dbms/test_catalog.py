@@ -1,0 +1,56 @@
+"""Tests for the MySQL knob catalog."""
+
+import pytest
+
+from repro.dbms.catalog import KNOB_CATALOG, MODELED_KNOBS, catalog_size, mysql_knob_space
+from repro.dbms.instances import INSTANCES
+
+
+class TestCatalog:
+    def test_exactly_197_knobs(self):
+        assert catalog_size() == 197
+
+    def test_no_duplicate_names(self):
+        names = [spec[1] for spec in KNOB_CATALOG]
+        assert len(names) == len(set(names))
+
+    def test_modeled_knobs_exist_in_catalog(self):
+        names = {spec[1] for spec in KNOB_CATALOG}
+        missing = MODELED_KNOBS - names
+        assert not missing
+
+    def test_space_dims_and_validity(self, mysql_space):
+        assert mysql_space.n_dims == 197
+        default = mysql_space.default_configuration()
+        assert mysql_space.validate(default)
+
+    def test_buffer_pool_default_is_60_percent_of_ram(self):
+        for letter, instance in INSTANCES.items():
+            space = mysql_knob_space(letter)
+            bp = space["innodb_buffer_pool_size"].default
+            assert bp == pytest.approx(0.6 * instance.ram_bytes, rel=1e-6)
+
+    def test_key_mysql_defaults(self, mysql_space):
+        default = mysql_space.default_configuration()
+        assert default["innodb_flush_log_at_trx_commit"] == "1"
+        # sync_binlog follows the pre-5.7.7 MySQL default (0) so that the
+        # redo flush mode is the single durability knob (see DESIGN.md).
+        assert default["sync_binlog"] == 0
+        assert default["max_connections"] == 151
+        assert default["innodb_doublewrite"] == "ON"
+        assert default["query_cache_type"] == "OFF"
+        assert default["innodb_log_file_size"] == 48 * 1024**2
+
+    def test_subspace_selection(self):
+        space = mysql_knob_space("B", knob_names=["sync_binlog", "innodb_io_capacity"])
+        assert space.names == ["sync_binlog", "innodb_io_capacity"]
+
+    def test_heterogeneity_present(self, mysql_space):
+        n_cat = int(mysql_space.categorical_mask.sum())
+        assert 40 <= n_cat <= 80  # a substantial categorical fraction
+
+    def test_instance_lookup_by_object(self):
+        space = mysql_knob_space(INSTANCES["D"])
+        assert space["innodb_buffer_pool_size"].default == pytest.approx(
+            0.6 * INSTANCES["D"].ram_bytes, rel=1e-6
+        )

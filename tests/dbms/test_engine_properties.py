@@ -1,0 +1,101 @@
+"""Hypothesis property tests on the performance model's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms.server import MySQLServer
+
+GB = 1024**3
+MB = 1024**2
+
+
+@pytest.fixture(scope="module")
+def server():
+    return MySQLServer("SYSBENCH", "B", noise=False)
+
+
+@pytest.fixture(scope="module")
+def job():
+    return MySQLServer("JOB", "B", noise=False)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_every_valid_config_evaluates_or_fails_cleanly(seed):
+    server = MySQLServer("SYSBENCH", "B", noise=False)
+    config = server.full_space.sample_configuration(np.random.default_rng(seed))
+    result = server.evaluate(config)
+    if result.failed:
+        assert result.failure_reason
+        assert np.isnan(result.objective)
+    else:
+        assert np.isfinite(result.objective)
+        assert result.objective > 0
+        assert result.metrics  # telemetry always present on success
+
+
+@given(
+    log_mb=st.integers(min_value=16, max_value=4096),
+    bigger_factor=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_larger_redo_log_never_hurts_write_throughput(log_mb, bigger_factor):
+    server = MySQLServer("SYSBENCH", "B", noise=False)
+    d = server.default_configuration()
+    small = server.evaluate(d.with_values(innodb_log_file_size=log_mb * MB)).objective
+    big = server.evaluate(
+        d.with_values(innodb_log_file_size=min(log_mb * bigger_factor, 8192) * MB)
+    ).objective
+    assert big >= small - 1e-9
+
+
+@given(threads=st.integers(min_value=1, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_read_io_threads_never_negative_effect_on_olap(threads):
+    server = MySQLServer("JOB", "B", noise=False)
+    d = server.default_configuration()
+    base = server.evaluate(d).objective
+    latency = server.evaluate(d.with_values(innodb_read_io_threads=threads)).objective
+    # latency must stay within a sane band of the default (no blow-ups)
+    assert 0.3 * base < latency < 3.0 * base
+
+
+@given(seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=25, deadline=None)
+def test_failure_is_monotone_in_buffer_pool(seed):
+    """If a config OOMs, the same config with a bigger buffer pool OOMs too."""
+    server = MySQLServer("SYSBENCH", "B", noise=False)
+    config = server.full_space.sample_configuration(np.random.default_rng(seed))
+    result = server.evaluate(config)
+    if result.failed:
+        bigger = config.with_values(
+            innodb_buffer_pool_size=min(
+                int(config["innodb_buffer_pool_size"] * 2), 40 * GB
+            )
+        )
+        assert server.evaluate(bigger).failed
+
+
+@given(seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=20, deadline=None)
+def test_metrics_internally_consistent(seed):
+    server = MySQLServer("SYSBENCH", "B", noise=False)
+    config = server.full_space.sample_configuration(np.random.default_rng(seed))
+    result = server.evaluate(config)
+    if result.failed:
+        return
+    m = result.metrics
+    assert 0.0 <= m["bp_hit_rate"] <= 1.0
+    assert m["bp_disk_reads_per_s"] <= m["bp_logical_reads_per_s"] + 1e-6
+    assert 0.0 <= m["cpu_util_pct"] <= 100.0
+    assert m["tps"] > 0
+
+
+def test_latency_objective_bounded_for_default_neighbourhood(job):
+    d = job.default_configuration()
+    base = job.evaluate(d).objective
+    for knob in ("sort_buffer_size", "join_buffer_size", "tmp_table_size"):
+        doubled = job.evaluate(d.with_values(**{knob: int(d[knob]) * 2})).objective
+        assert doubled <= base + 1e-9  # more memory never hurts latency here

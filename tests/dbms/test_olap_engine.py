@@ -1,0 +1,80 @@
+"""Analytical-workload (JOB) engine behaviour: the OLAP response surface."""
+
+import pytest
+
+from repro.dbms.server import MySQLServer
+
+GB = 1024**3
+MB = 1024**2
+
+
+@pytest.fixture(scope="module")
+def job():
+    return MySQLServer("JOB", "B", noise=False)
+
+
+@pytest.fixture(scope="module")
+def base(job):
+    return job.evaluate(job.default_configuration()).objective
+
+
+def _latency(job, **kw):
+    return job.evaluate(job.default_configuration().with_values(**kw)).objective
+
+
+class TestJoinPath:
+    def test_join_buffer_reduces_latency(self, job, base):
+        assert _latency(job, join_buffer_size=64 * MB) < base * 0.9
+
+    def test_join_buffer_saturates(self, job):
+        mid = _latency(job, join_buffer_size=32 * MB)
+        big = _latency(job, join_buffer_size=128 * MB)
+        # diminishing returns: the second doubling buys much less
+        assert (mid - big) < 0.5 * ( _latency(job, join_buffer_size=1 * MB) - mid)
+
+    def test_optimizer_search_depth_matters(self, job, base):
+        shallow = _latency(job, optimizer_search_depth=3)
+        assert shallow > base  # worse plans for 17-way joins
+
+
+class TestSortTempPath:
+    def test_in_memory_temp_tables_help(self, job, base):
+        tuned = _latency(job, tmp_table_size=256 * MB, max_heap_table_size=256 * MB)
+        assert tuned < base * 0.85
+
+    def test_myisam_disk_tmp_cheaper_than_innodb(self, job):
+        """The internal_tmp_disk_storage_engine categorical has a real effect
+        while temp tables spill (the default state)."""
+        innodb = _latency(job, internal_tmp_disk_storage_engine="INNODB")
+        myisam = _latency(job, internal_tmp_disk_storage_engine="MYISAM")
+        assert myisam < innodb
+
+    def test_sort_buffer_helps(self, job, base):
+        assert _latency(job, sort_buffer_size=32 * MB) < base
+
+
+class TestScanPath:
+    def test_random_read_ahead_helps_scans(self, job, base):
+        assert _latency(job, innodb_random_read_ahead="ON") < base
+
+    def test_stats_method_plan_quality(self, job, base):
+        better = _latency(job, innodb_stats_method="nulls_unequal")
+        worse = _latency(job, innodb_stats_method="nulls_ignored")
+        assert better < base < worse
+
+    def test_stats_sample_pages_improve_cardinality(self, job, base):
+        assert _latency(job, innodb_stats_persistent_sample_pages=800) < base
+
+    def test_old_blocks_pct_scan_resistance(self, job):
+        low = _latency(job, innodb_old_blocks_pct=5)
+        high = _latency(job, innodb_old_blocks_pct=90)
+        assert high < low  # keeping scans out of the young list helps JOB
+
+
+class TestWriteKnobsInertForReadOnly:
+    def test_durability_knobs_do_nothing(self, job, base):
+        assert _latency(job, innodb_flush_log_at_trx_commit="0") == pytest.approx(base)
+        assert _latency(job, sync_binlog=512) == pytest.approx(base)
+
+    def test_io_capacity_inert(self, job, base):
+        assert _latency(job, innodb_io_capacity=20000) == pytest.approx(base)

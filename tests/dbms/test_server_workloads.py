@@ -1,0 +1,109 @@
+"""Tests for the server facade, hardware instances, and workload profiles."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.instances import INSTANCES
+from repro.dbms.metrics import (
+    INTERNAL_METRIC_NAMES,
+    metrics_vector,
+    normalized_metrics_vector,
+)
+from repro.dbms.server import RESTART_SECONDS, STRESS_TEST_SECONDS, MySQLServer
+from repro.workloads import ALL_WORKLOADS, OLTP_WORKLOADS, get_workload, workload_table
+
+
+class TestInstances:
+    def test_table5_values(self):
+        assert INSTANCES["A"].cpu_cores == 4 and INSTANCES["A"].ram_gb == 8
+        assert INSTANCES["B"].cpu_cores == 8 and INSTANCES["B"].ram_gb == 16
+        assert INSTANCES["C"].cpu_cores == 16 and INSTANCES["C"].ram_gb == 32
+        assert INSTANCES["D"].cpu_cores == 32 and INSTANCES["D"].ram_gb == 64
+
+    def test_derived_quantities(self):
+        b = INSTANCES["B"]
+        assert b.ram_bytes == 16 * 1024**3
+        assert b.io_read_latency_ms > 0
+
+
+class TestWorkloads:
+    def test_table4_profiles(self):
+        assert len(ALL_WORKLOADS) == 9
+        job = get_workload("job")
+        assert job.wclass == "Analytical" and job.read_only_frac == 1.0
+        assert get_workload("TPC-C").read_only_frac == pytest.approx(0.08)
+        assert get_workload("Voter").read_only_frac == 0.0
+        assert get_workload("SIBench").wclass == "Feature Testing"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_objective_directions(self):
+        assert get_workload("JOB").is_analytical
+        for name in OLTP_WORKLOADS:
+            assert not get_workload(name).is_analytical
+
+    def test_workload_table_rows(self):
+        rows = workload_table()
+        assert len(rows) == 9
+        names = {r[0] for r in rows}
+        assert "SYSBENCH" in names and "Twitter" in names
+
+    def test_scaled_copy(self):
+        w = get_workload("SYSBENCH").scaled(client_threads=16)
+        assert w.client_threads == 16
+        assert get_workload("SYSBENCH").client_threads == 64
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            get_workload("SYSBENCH").scaled(read_only_frac=1.5)
+        with pytest.raises(ValueError):
+            get_workload("SYSBENCH").scaled(client_threads=0)
+
+
+class TestServer:
+    def test_partial_config_completed_with_defaults(self, sysbench_server):
+        result = sysbench_server.evaluate({"sync_binlog": 0})
+        assert result.configuration["innodb_doublewrite"] == "ON"
+        assert not result.failed
+
+    def test_simulated_time_accounting(self):
+        server = MySQLServer("SYSBENCH", "B", seed=0)
+        server.evaluate(server.default_configuration())
+        assert server.total_simulated_seconds == RESTART_SECONDS + STRESS_TEST_SECONDS
+        # a failed start costs only the restart attempt
+        server.evaluate(
+            server.default_configuration().with_values(
+                innodb_buffer_pool_size=30 * 1024**3
+            )
+        )
+        assert server.total_simulated_seconds == pytest.approx(
+            2 * RESTART_SECONDS + STRESS_TEST_SECONDS
+        )
+
+    def test_objective_direction(self, sysbench_server, job_server):
+        assert sysbench_server.objective_direction == "max"
+        assert job_server.objective_direction == "min"
+
+    def test_default_objective_matches_profile(self, sysbench_server):
+        assert sysbench_server.default_objective() == get_workload("SYSBENCH").base_throughput
+
+
+class TestMetricVectors:
+    def test_vector_order_is_stable(self):
+        metrics = {name: float(i) for i, name in enumerate(INTERNAL_METRIC_NAMES)}
+        vec = metrics_vector(metrics)
+        np.testing.assert_array_equal(vec, np.arange(len(INTERNAL_METRIC_NAMES)))
+
+    def test_missing_metrics_default_to_zero(self):
+        vec = metrics_vector({"tps": 5.0})
+        assert vec.sum() == 5.0
+
+    def test_normalization_compresses_rates(self):
+        metrics = {"tps": 10000.0, "bp_hit_rate": 0.95}
+        vec = normalized_metrics_vector(metrics)
+        idx_tps = INTERNAL_METRIC_NAMES.index("tps")
+        idx_hit = INTERNAL_METRIC_NAMES.index("bp_hit_rate")
+        assert vec[idx_tps] == pytest.approx(np.log1p(10000.0))
+        assert vec[idx_hit] == pytest.approx(0.95)

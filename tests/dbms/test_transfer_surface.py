@@ -1,0 +1,67 @@
+"""Cross-workload surface properties that the transfer study relies on.
+
+RGPE/workload-mapping only help if similar workloads share optimal
+regions and the internal-metric signatures separate workload families —
+these tests pin those premises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dbms.metrics import normalized_metrics_vector
+from repro.dbms.server import MySQLServer
+
+GB = 1024**3
+
+
+def _signature(workload: str) -> np.ndarray:
+    server = MySQLServer(workload, "B", noise=False)
+    result = server.evaluate(server.default_configuration())
+    return normalized_metrics_vector(result.metrics)
+
+
+class TestMetricSignatures:
+    def test_similar_oltp_workloads_are_closer_than_olap(self):
+        tpcc = _signature("TPC-C")
+        seats = _signature("SEATS")
+        job = _signature("JOB")
+        assert np.linalg.norm(tpcc - seats) < np.linalg.norm(tpcc - job)
+
+    def test_tiny_workloads_cluster(self):
+        voter = _signature("Voter")
+        sibench = _signature("SIBench")
+        sysbench = _signature("SYSBENCH")
+        assert np.linalg.norm(voter - sibench) < np.linalg.norm(voter - sysbench)
+
+
+class TestSharedOptimalRegions:
+    def test_durability_relaxation_helps_all_write_oltp(self):
+        for name in ("TPC-C", "SYSBENCH", "Twitter", "SEATS", "Smallbank"):
+            server = MySQLServer(name, "B", noise=False)
+            d = server.default_configuration()
+            base = server.evaluate(d).objective
+            relaxed = server.evaluate(
+                d.with_values(innodb_flush_log_at_trx_commit="0")
+            ).objective
+            assert relaxed > base, name
+
+    def test_log_sizing_helps_write_heavy_most(self):
+        def gain(name):
+            server = MySQLServer(name, "B", noise=False)
+            d = server.default_configuration()
+            base = server.evaluate(d).objective
+            tuned = server.evaluate(
+                d.with_values(innodb_log_file_size=4 * GB)
+            ).objective
+            return tuned / base - 1.0
+
+        assert gain("TPC-C") > gain("TATP")  # 92% writes vs 60%
+
+    def test_workload_scale_differences_are_large(self):
+        """Raw objective scales differ by orders of magnitude across
+        workloads — the reason transfer frameworks must standardize."""
+        tiny = MySQLServer("Voter", "B", noise=False)
+        big = MySQLServer("TPC-C", "B", noise=False)
+        v = tiny.evaluate(tiny.default_configuration()).objective
+        t = big.evaluate(big.default_configuration()).objective
+        assert v / t > 5.0

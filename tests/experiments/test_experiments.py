@@ -1,0 +1,160 @@
+"""Integration tests: every experiment harness runs end-to-end at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    heterogeneity_comparison,
+    importance_comparison,
+    importance_sensitivity,
+    incremental_comparison,
+    knob_count_sweep,
+    optimizer_comparison,
+    overhead_comparison,
+    paper_spaces,
+    shap_ranked_knobs,
+    surrogate_model_table,
+    surrogate_tuning_comparison,
+    transfer_comparison,
+)
+from repro.experiments.scale import Scale, bench_scale, paper_scale, quick_scale
+from repro.experiments.spaces import heterogeneity_spaces, transfer_space
+
+TINY = Scale(n_pool_samples=150, n_iterations=10, n_runs=1, n_initial=5)
+
+
+class TestScale:
+    def test_paper_scale_values(self):
+        s = paper_scale()
+        assert s.n_pool_samples == 6250
+        assert s.n_iterations == 200
+        assert s.n_runs == 3
+        assert s.knob_count_iterations == 600
+
+    def test_bench_scale_is_smaller(self):
+        b, p = bench_scale(), paper_scale()
+        assert b.n_pool_samples <= p.n_pool_samples
+        assert b.n_iterations <= p.n_iterations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scale(n_pool_samples=5, n_iterations=10, n_runs=1)
+
+    def test_overrides(self):
+        s = quick_scale().with_overrides(n_runs=2)
+        assert s.n_runs == 2
+
+
+class TestSpaces:
+    def test_paper_spaces_sizes(self):
+        spaces = paper_spaces("SYSBENCH", n_samples=150, seed=3)
+        assert spaces["small"].n_dims == 5
+        assert spaces["medium"].n_dims == 20
+        assert spaces["large"].n_dims == 197
+
+    def test_shap_ranking_cached(self):
+        a = shap_ranked_knobs("SYSBENCH", n_samples=150, seed=3)
+        b = shap_ranked_knobs("SYSBENCH", n_samples=150, seed=3)
+        assert a == b and len(a) == 197
+
+    def test_heterogeneity_spaces(self):
+        spaces = heterogeneity_spaces("JOB", n_samples=150, seed=3)
+        cont = spaces["continuous"]
+        het = spaces["heterogeneous"]
+        assert cont.n_dims == het.n_dims == 20
+        assert not cont.has_categorical
+        assert int(het.categorical_mask.sum()) == 5
+
+    def test_transfer_space_is_top20(self):
+        space = transfer_space(n_samples=150, seed=3)
+        assert space.n_dims == 20
+
+
+class TestHarnesses:
+    def test_importance_comparison(self):
+        result = importance_comparison(
+            workloads=("SYSBENCH",),
+            measurements=("gini", "lasso"),
+            top_ks=(5,),
+            optimizers=("vanilla_bo",),
+            scale=TINY,
+            seed=3,
+        )
+        assert len(result.rows) == 2
+        assert set(result.overall_ranking) == {"gini", "lasso"}
+
+    def test_importance_sensitivity(self):
+        points = importance_sensitivity(
+            workload="SYSBENCH",
+            measurements=("gini",),
+            sample_sizes=(40, 80),
+            n_repeats=2,
+            scale=TINY,
+            seed=3,
+        )
+        assert len(points["gini"]) == 2
+
+    def test_knob_count_sweep(self):
+        points = knob_count_sweep(
+            workloads=("SYSBENCH",), knob_counts=(5, 20), scale=TINY, seed=3
+        )
+        assert [p.n_knobs for p in points] == [5, 20]
+        assert all(p.tuning_cost_iterations >= 1 for p in points)
+
+    def test_incremental_comparison(self):
+        results = incremental_comparison(workloads=("SYSBENCH",), scale=TINY, seed=3)
+        strategies = {r.strategy for r in results}
+        assert strategies == {"increasing", "decreasing", "fixed top-5", "fixed top-20"}
+        for r in results:
+            assert len(r.trajectory) == TINY.knob_count_iterations
+
+    def test_optimizer_comparison(self):
+        result = optimizer_comparison(
+            workloads=("SYSBENCH",),
+            space_sizes=("small",),
+            optimizers=("smac", "ga"),
+            scale=TINY,
+            seed=3,
+        )
+        assert set(result.rankings["overall"]) == {"smac", "ga"}
+        assert all(len(r.best_trajectory) == TINY.n_iterations for r in result.rows)
+
+    def test_heterogeneity_comparison(self):
+        rows = heterogeneity_comparison(
+            optimizers=("vanilla_bo", "mixed_kernel_bo"), scale=TINY, seed=3
+        )
+        kinds = {r.space_kind for r in rows}
+        assert kinds == {"continuous", "heterogeneous"}
+
+    def test_overhead_comparison(self):
+        rows = overhead_comparison(
+            optimizers=("ga", "vanilla_bo"),
+            n_iterations=30,
+            checkpoints=(10, 30),
+            scale=TINY,
+            seed=3,
+        )
+        by_name = {r.optimizer: r for r in rows}
+        assert by_name["vanilla_bo"].total_seconds > by_name["ga"].total_seconds
+
+    def test_transfer_comparison(self):
+        result = transfer_comparison(scale=TINY, seed=3, pretrain_iterations=8)
+        frameworks = {(r.framework, r.base) for r in result.rows}
+        assert ("rgpe", "smac") in frameworks
+        assert ("fine-tune", "ddpg") in frameworks
+        assert len(result.rows) == 5 * 3  # five baselines, three targets
+        assert "avg" in result.absolute_rankings
+
+    def test_surrogate_model_table(self):
+        tables = surrogate_model_table(scale=TINY, n_splits=3, seed=3)
+        assert set(tables) == {"JOB", "SYSBENCH"}
+        for scores in tables.values():
+            assert {s.name for s in scores} == {"RF", "GB", "SVR", "NuSVR", "KNN", "RR"}
+
+    def test_surrogate_tuning_comparison(self):
+        result = surrogate_tuning_comparison(
+            optimizers=("smac", "ga"), scale=TINY, n_runs=1, seed=3
+        )
+        assert result.speedup_range[0] > 50
+        assert {r.optimizer for r in result.rows} == {"smac", "ga"}
+        assert all(np.isfinite(r.improvement) for r in result.rows)

@@ -1,0 +1,83 @@
+"""Tests for the experiment runner helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.catalog import mysql_knob_space
+from repro.experiments.runner import (
+    median_best_score,
+    median_improvement,
+    run_sessions,
+)
+from repro.optimizers import RandomSearch
+from repro.optimizers.base import History, Observation
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return mysql_knob_space(
+        "B",
+        knob_names=["innodb_flush_log_at_trx_commit", "innodb_log_file_size"],
+        seed=0,
+    )
+
+
+class TestRunSessions:
+    def test_runs_independent_sessions(self, small_space):
+        histories = run_sessions(
+            "Voter",
+            small_space,
+            lambda s, sd: RandomSearch(s, seed=sd),
+            n_runs=2,
+            n_iterations=6,
+            n_initial=0,
+            seed=1,
+        )
+        assert len(histories) == 2
+        assert all(len(h) == 6 for h in histories)
+        # different seeds -> different evaluation noise -> different scores
+        assert histories[0].scores().tolist() != histories[1].scores().tolist()
+
+    def test_median_improvement_positive_for_tunable_workload(self, small_space):
+        histories = run_sessions(
+            "SYSBENCH",
+            small_space,
+            lambda s, sd: RandomSearch(s, seed=sd),
+            n_runs=1,
+            n_iterations=25,
+            n_initial=0,
+            seed=2,
+        )
+        improvement = median_improvement(histories, "SYSBENCH")
+        assert improvement > 0.0
+
+    def test_median_improvement_latency_direction(self, small_space):
+        histories = run_sessions(
+            "JOB",
+            small_space,
+            lambda s, sd: RandomSearch(s, seed=sd),
+            n_runs=1,
+            n_iterations=10,
+            n_initial=0,
+            seed=2,
+        )
+        improvement = median_improvement(histories, "JOB")
+        assert np.isfinite(improvement)
+
+    def test_median_best_score_handles_empty(self, small_space):
+        empty = History(small_space)
+        assert median_best_score([empty]) == float("-inf")
+
+    def test_median_best_score(self, small_space):
+        histories = []
+        for value in (1.0, 5.0, 3.0):
+            h = History(small_space)
+            h.append(
+                Observation(
+                    config=small_space.default_configuration(),
+                    objective=value,
+                    score=value,
+                )
+            )
+            histories.append(h)
+        assert median_best_score(histories) == 3.0

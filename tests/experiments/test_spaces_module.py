@@ -1,0 +1,54 @@
+"""Extra tests for the canonical-spaces module (memoization, structure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.spaces import (
+    SPACE_SIZES,
+    heterogeneity_spaces,
+    paper_spaces,
+    shap_ranked_knobs,
+    transfer_space,
+    workload_pool,
+)
+
+
+class TestWorkloadPool:
+    def test_pool_contents(self):
+        configs, scores, default_score = workload_pool("Voter", n_samples=60, seed=4)
+        assert len(configs) == len(scores) == 61  # + default
+        assert np.isfinite(scores).all()
+        assert scores[-1] == default_score
+
+    def test_memoization_returns_equal_objects(self):
+        a = workload_pool("Voter", n_samples=60, seed=4)
+        b = workload_pool("Voter", n_samples=60, seed=4)
+        assert a[0] == b[0]
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seed_different_pool(self):
+        a = workload_pool("Voter", n_samples=60, seed=4)
+        b = workload_pool("Voter", n_samples=60, seed=5)
+        assert a[0] != b[0]
+
+
+class TestSpaceConstruction:
+    def test_space_sizes_constant(self):
+        assert SPACE_SIZES == {"small": 5, "medium": 20, "large": 197}
+
+    def test_paper_spaces_are_prefixes_of_ranking(self):
+        ranked = shap_ranked_knobs("Voter", n_samples=60, seed=4)
+        spaces = paper_spaces("Voter", n_samples=60, seed=4)
+        assert spaces["small"].names == ranked[:5]
+        assert spaces["medium"].names == ranked[:20]
+
+    def test_heterogeneity_split_masks(self):
+        spaces = heterogeneity_spaces("JOB", n_samples=60, seed=4)
+        het = spaces["heterogeneous"]
+        # the five categorical knobs come first by construction
+        assert het.categorical_mask[:5].all()
+        assert not het.categorical_mask[5:].any()
+
+    def test_transfer_space_deduplicates_across_workloads(self):
+        space = transfer_space(n_samples=60, seed=4)
+        assert len(set(space.names)) == 20

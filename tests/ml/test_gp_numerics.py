@@ -1,0 +1,76 @@
+"""Numerical-robustness tests for the GP implementation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import ConstantKernel, HammingKernel, RBFKernel, WhiteKernel
+
+
+class TestCholeskyRobustness:
+    def test_duplicate_points_need_jitter(self):
+        """Identical rows make K singular; the jitter ladder must save it."""
+        X = np.vstack([np.full((5, 2), 0.3), np.full((5, 2), 0.7)])
+        y = np.concatenate([np.zeros(5), np.ones(5)])
+        gp = GaussianProcessRegressor(
+            kernel=RBFKernel(0.5), noise=0.0, optimize_hyperparams=False
+        )
+        gp.fit(X, y)
+        pred = gp.predict(np.array([[0.3, 0.3], [0.7, 0.7]]))
+        assert pred[0] < pred[1]
+
+    def test_huge_lengthscale_constant_kernel(self):
+        """A near-constant covariance matrix must still factorize."""
+        rng = np.random.default_rng(0)
+        X = rng.random((20, 3))
+        y = rng.normal(size=20)
+        gp = GaussianProcessRegressor(
+            kernel=RBFKernel(100.0), noise=1e-6, optimize_hyperparams=False
+        )
+        gp.fit(X, y)
+        assert np.isfinite(gp.predict(X)).all()
+
+    def test_white_kernel_composition(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((30, 2))
+        y = X[:, 0] + rng.normal(0, 0.1, 30)
+        kernel = ConstantKernel(1.0) * RBFKernel(0.5) + WhiteKernel(1e-2)
+        gp = GaussianProcessRegressor(kernel=kernel, noise=0.0, optimize_hyperparams=False)
+        gp.fit(X, y)
+        # At *new* points the white-noise variance keeps the posterior std
+        # strictly positive even arbitrarily close to training data.
+        near = np.clip(X + 1e-4, 0.0, 1.0)
+        __, std = gp.predict(near, return_std=True)
+        assert (std > 1e-2).all()  # ~sqrt(noise) floor
+
+    def test_pure_hamming_gp_on_categorical_grid(self):
+        """GP over a purely categorical (unit-coded) space."""
+        # two binary knobs -> 4 cells at unit midpoints
+        cells = np.array([[0.25, 0.25], [0.25, 0.75], [0.75, 0.25], [0.75, 0.75]])
+        y = np.array([0.0, 1.0, 1.0, 2.0])
+        gp = GaussianProcessRegressor(
+            kernel=ConstantKernel(1.0) * HammingKernel(1.0),
+            noise=1e-6,
+            optimize_hyperparams=False,
+        )
+        gp.fit(cells, y)
+        pred = gp.predict(cells)
+        assert np.argmax(pred) == 3 and np.argmin(pred) == 0
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=-1.0)
+
+    def test_single_point_fit(self):
+        gp = GaussianProcessRegressor(optimize_hyperparams=False)
+        gp.fit(np.array([[0.5]]), np.array([2.0]))
+        mean, std = gp.predict(np.array([[0.5], [0.9]]), return_std=True)
+        assert mean[0] == pytest.approx(2.0, abs=1e-3)
+        assert std[1] > std[0]
+
+    def test_lml_finite_after_fit(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((15, 2))
+        gp = GaussianProcessRegressor(optimize_hyperparams=True, n_restarts=1, seed=0)
+        gp.fit(X, X.sum(axis=1))
+        assert np.isfinite(gp.log_marginal_likelihood_)

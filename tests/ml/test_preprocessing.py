@@ -1,0 +1,82 @@
+"""Tests for scalers and polynomial features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+from hypothesis import strategies as st
+
+from repro.ml.preprocessing import MinMaxScaler, PolynomialFeatures, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(3.0, 2.5, size=(200, 3))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_is_safe(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((50, 4))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 10, size=(100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    @given(arrays(np.float64, (20, 2), elements=st.floats(-100, 100)))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, X):
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-8
+        )
+
+
+class TestPolynomialFeatures:
+    def test_degree2_expansion(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2).fit_transform(X)
+        # a, b, a^2, ab, b^2
+        np.testing.assert_allclose(out, [[2, 3, 4, 6, 9]])
+
+    def test_interaction_only(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2, interaction_only=True).fit_transform(X)
+        np.testing.assert_allclose(out, [[2, 3, 6]])
+
+    def test_bias_column(self):
+        X = np.array([[5.0]])
+        out = PolynomialFeatures(degree=1, include_bias=True).fit_transform(X)
+        np.testing.assert_allclose(out, [[1, 5]])
+
+    def test_feature_groups_map_to_inputs(self):
+        poly = PolynomialFeatures(degree=2)
+        poly.fit(np.zeros((1, 3)))
+        groups = poly.feature_groups(3)
+        assert (0,) in groups and (0, 1) in groups and (2,) in groups
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialFeatures(degree=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PolynomialFeatures().transform(np.ones((1, 2)))

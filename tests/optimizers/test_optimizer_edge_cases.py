@@ -1,0 +1,77 @@
+"""Edge-case behaviour shared by all optimizers: adversarial histories."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import OPTIMIZER_REGISTRY
+from repro.optimizers.base import History, Observation
+from repro.space import CategoricalKnob, ConfigurationSpace, ContinuousKnob
+
+ALL_NAMES = ["vanilla_bo", "mixed_kernel_bo", "smac", "tpe", "turbo", "ddpg", "ga", "random"]
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace(
+        [
+            ContinuousKnob("x", 0.0, 1.0, 0.5),
+            CategoricalKnob("m", ["a", "b"], "a"),
+        ],
+        seed=0,
+    )
+
+
+def _history_with(space, scores, failed_flags=None):
+    failed_flags = failed_flags or [False] * len(scores)
+    rng = np.random.default_rng(0)
+    h = History(space)
+    for score, failed in zip(scores, failed_flags):
+        config = space.sample_configuration(rng)
+        obs = Observation(config=config, objective=score, score=score, failed=failed)
+        h.append(obs)
+    return h
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestAdversarialHistories:
+    def test_all_identical_scores(self, name, space):
+        """Constant objective: optimizers must not crash or loop."""
+        opt = OPTIMIZER_REGISTRY[name](space, seed=0)
+        h = _history_with(space, [1.0] * 8)
+        config = opt.suggest(h)
+        assert space.validate(config)
+
+    def test_all_failed_history(self, name, space):
+        """Sessions clamp failed scores, so scores exist but none succeeded."""
+        opt = OPTIMIZER_REGISTRY[name](space, seed=0)
+        h = _history_with(space, [-1.0] * 6, failed_flags=[True] * 6)
+        config = opt.suggest(h)
+        assert space.validate(config)
+
+    def test_single_observation(self, name, space):
+        opt = OPTIMIZER_REGISTRY[name](space, seed=0)
+        h = _history_with(space, [2.0])
+        config = opt.suggest(h)
+        assert space.validate(config)
+
+    def test_extreme_score_scale(self, name, space):
+        """Scores in the 1e9 range (e.g. raw byte counters) must not break."""
+        opt = OPTIMIZER_REGISTRY[name](space, seed=0)
+        h = _history_with(space, list(np.linspace(1e9, 2e9, 10)))
+        config = opt.suggest(h)
+        assert space.validate(config)
+
+    def test_negative_scores(self, name, space):
+        """Latency objectives are negated: all scores negative is normal."""
+        opt = OPTIMIZER_REGISTRY[name](space, seed=0)
+        h = _history_with(space, list(-np.linspace(100, 200, 10)))
+        config = opt.suggest(h)
+        assert space.validate(config)
+
+    def test_observe_unseen_config(self, name, space):
+        """Observations the optimizer never suggested (warm starts) are fine."""
+        opt = OPTIMIZER_REGISTRY[name](space, seed=0)
+        obs = Observation(
+            config=space.default_configuration(), objective=1.0, score=1.0
+        )
+        opt.observe(obs)  # must not raise

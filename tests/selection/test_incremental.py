@@ -1,0 +1,84 @@
+"""Tests for the incremental knob-selection drivers."""
+
+import pytest
+
+from repro.dbms.server import MySQLServer
+from repro.optimizers import VanillaBO
+from repro.selection.incremental import DecrementalTuner, IncrementalTuner
+from repro.tuning.objective import DatabaseObjective
+
+RANKED = [
+    "innodb_flush_log_at_trx_commit",
+    "sync_binlog",
+    "innodb_log_file_size",
+    "innodb_io_capacity",
+    "innodb_buffer_pool_size",
+    "innodb_doublewrite",
+    "innodb_flush_method",
+    "innodb_thread_concurrency",
+    "thread_cache_size",
+    "innodb_write_io_threads",
+]
+
+
+def _objective_factory(space):
+    return DatabaseObjective(MySQLServer("SYSBENCH", "B", seed=4), space)
+
+
+def _optimizer_factory(space, phase):
+    return VanillaBO(space, seed=phase)
+
+
+class TestIncrementalTuner:
+    def test_runs_and_grows_space(self, mysql_space):
+        tuner = IncrementalTuner(
+            _objective_factory,
+            RANKED,
+            _optimizer_factory,
+            start_knobs=2,
+            step_knobs=3,
+            step_iterations=8,
+            base_space=mysql_space,
+            seed=0,
+        )
+        history = tuner.run(24)
+        assert len(history) == 24
+        assert history.best().score > 0
+
+    def test_requires_base_space(self):
+        tuner = IncrementalTuner(
+            _objective_factory, RANKED, _optimizer_factory, base_space=None
+        )
+        with pytest.raises(ValueError):
+            tuner.run(5)
+
+    def test_parameter_validation(self, mysql_space):
+        with pytest.raises(ValueError):
+            IncrementalTuner(
+                _objective_factory, RANKED, _optimizer_factory,
+                start_knobs=0, base_space=mysql_space,
+            )
+
+
+class TestDecrementalTuner:
+    def test_runs_and_shrinks_space(self, mysql_space):
+        tuner = DecrementalTuner(
+            _objective_factory,
+            RANKED,
+            _optimizer_factory,
+            final_knobs=3,
+            step_iterations=10,
+            base_space=mysql_space,
+            seed=0,
+        )
+        history = tuner.run(30)
+        assert len(history) == 30
+        # the final history space has shrunk from 10 knobs
+        assert history.space.n_dims < len(RANKED)
+
+    def test_parameter_validation(self, mysql_space):
+        with pytest.raises(ValueError):
+            DecrementalTuner(
+                _objective_factory, RANKED, _optimizer_factory,
+                final_knobs=0, base_space=mysql_space,
+            )

@@ -1,0 +1,83 @@
+"""Focused tests for the Lasso measurement's design-matrix machinery."""
+
+import numpy as np
+import pytest
+
+from repro.selection.lasso import LassoImportance
+from repro.space import (
+    CategoricalKnob,
+    ConfigurationSpace,
+    ContinuousKnob,
+)
+
+
+@pytest.fixture
+def small_space():
+    return ConfigurationSpace(
+        [
+            ContinuousKnob("a", 0.0, 1.0, 0.5),
+            ContinuousKnob("b", 0.0, 1.0, 0.5),
+            CategoricalKnob("c", ["x", "y"], "x"),
+        ],
+        seed=0,
+    )
+
+
+class TestDesignMatrix:
+    def test_quadratic_expansion_below_limit(self, small_space):
+        m = LassoImportance(small_space, seed=0, max_quadratic_dims=40)
+        configs = small_space.sample_configurations(10)
+        X, __ = m._design_matrix(configs)
+        # one-hot = a, b, c=x, c=y -> 4 linear + C(4+1,2)=10 quadratic
+        assert X.shape == (10, 14)
+
+    def test_linear_plus_squares_above_limit(self, small_space):
+        m = LassoImportance(small_space, seed=0, max_quadratic_dims=2)
+        configs = small_space.sample_configurations(10)
+        X, __ = m._design_matrix(configs)
+        assert X.shape == (10, 8)  # 4 one-hot + 4 squared
+
+    def test_combos_credit_all_owner_knobs(self, small_space):
+        m = LassoImportance(small_space, seed=0)
+        m._design_matrix(small_space.sample_configurations(4))
+        owners = set()
+        for combo in m._combos:
+            owners.update(combo)
+        assert owners == {0, 1, 2}
+
+
+class TestRankingBehaviour:
+    def test_linear_effect_detected(self, small_space):
+        rng = np.random.default_rng(0)
+        configs = small_space.sample_configurations(200, rng)
+        scores = np.array([10.0 * c["a"] + rng.normal(0, 0.05) for c in configs])
+        m = LassoImportance(small_space, seed=0)
+        result = m.rank(configs, scores)
+        assert result.ranked()[0] == "a"
+
+    def test_categorical_effect_detected(self, small_space):
+        rng = np.random.default_rng(1)
+        configs = small_space.sample_configurations(200, rng)
+        scores = np.array(
+            [(5.0 if c["c"] == "y" else 0.0) + rng.normal(0, 0.05) for c in configs]
+        )
+        m = LassoImportance(small_space, seed=0)
+        result = m.rank(configs, scores)
+        assert result.ranked()[0] == "c"
+
+    def test_quadratic_interaction_credits_both_knobs(self, small_space):
+        rng = np.random.default_rng(2)
+        configs = small_space.sample_configurations(300, rng)
+        scores = np.array(
+            [8.0 * c["a"] * c["b"] + rng.normal(0, 0.05) for c in configs]
+        )
+        m = LassoImportance(small_space, seed=0)
+        result = m.rank(configs, scores)
+        assert set(result.top(2)) == {"a", "b"}
+
+    def test_constant_scores_yield_zero_importance(self, small_space):
+        configs = small_space.sample_configurations(50)
+        scores = np.ones(50)
+        m = LassoImportance(small_space, seed=0)
+        result = m.rank(configs, scores)
+        assert all(np.isfinite(v) for v in result.knob_scores.values())

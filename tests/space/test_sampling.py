@@ -1,0 +1,73 @@
+"""Tests for Latin Hypercube and quasi-random designs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space.sampling import (
+    LatinHypercubeSampler,
+    latin_hypercube,
+    scrambled_sobol_like,
+)
+
+
+class TestLatinHypercube:
+    def test_shape_and_range(self):
+        design = latin_hypercube(20, 5, np.random.default_rng(0))
+        assert design.shape == (20, 5)
+        assert (design >= 0).all() and (design < 1).all()
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_stratification_property(self, n, d):
+        """Each of the n strata per dimension contains exactly one point."""
+        design = latin_hypercube(n, d, np.random.default_rng(3))
+        for j in range(d):
+            strata = np.floor(design[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            latin_hypercube(0, 3, rng)
+        with pytest.raises(ValueError):
+            latin_hypercube(3, 0, rng)
+
+    def test_seeded_reproducibility(self):
+        a = latin_hypercube(10, 4, np.random.default_rng(42))
+        b = latin_hypercube(10, 4, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSobolLike:
+    def test_shape_and_range(self):
+        design = scrambled_sobol_like(100, 7, np.random.default_rng(1))
+        assert design.shape == (100, 7)
+        assert (design >= 0).all() and (design < 1).all()
+
+    def test_low_discrepancy_beats_iid_worst_gap(self):
+        """1-D projections should have smaller maximum gaps than typical."""
+        rng = np.random.default_rng(0)
+        design = scrambled_sobol_like(256, 1, rng).ravel()
+        gaps = np.diff(np.sort(design))
+        assert gaps.max() < 0.05  # iid uniform would typically exceed this
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            scrambled_sobol_like(0, 1, np.random.default_rng(0))
+
+
+class TestLHSSampler:
+    def test_produces_valid_configurations(self, tiny_space):
+        sampler = LatinHypercubeSampler(tiny_space, seed=0)
+        configs = sampler.sample(16)
+        assert len(configs) == 16
+        assert all(tiny_space.validate(c) for c in configs)
+
+    def test_numeric_dimension_coverage(self, tiny_space):
+        sampler = LatinHypercubeSampler(tiny_space, seed=0)
+        configs = sampler.sample(64)
+        xs = sorted(c["x"] for c in configs)
+        # stratified: both tails are reached
+        assert xs[0] < 0.05 and xs[-1] > 0.95

@@ -1,0 +1,151 @@
+"""Unit and property tests for ConfigurationSpace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import (
+    CategoricalKnob,
+    Configuration,
+    ConfigurationSpace,
+    ContinuousKnob,
+    IntegerKnob,
+)
+
+
+class TestBasics:
+    def test_duplicate_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace(
+                [ContinuousKnob("x", 0, 1, 0.5), ContinuousKnob("x", 0, 2, 1.0)]
+            )
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace([])
+
+    def test_container_protocol(self, tiny_space):
+        assert len(tiny_space) == 4
+        assert "mode" in tiny_space
+        assert tiny_space["n"].name == "n"
+        assert tiny_space.index_of("mode") == 2
+        with pytest.raises(KeyError):
+            tiny_space.index_of("missing")
+
+    def test_masks(self, tiny_space):
+        assert tiny_space.categorical_mask.tolist() == [False, False, True, False]
+        assert tiny_space.continuous_mask.tolist() == [True, True, False, True]
+        assert tiny_space.has_categorical
+
+
+class TestEncoding:
+    def test_default_roundtrip(self, tiny_space):
+        default = tiny_space.default_configuration()
+        assert tiny_space.decode(tiny_space.encode(default)) == default
+
+    def test_decode_shape_check(self, tiny_space):
+        with pytest.raises(ValueError):
+            tiny_space.decode([0.5, 0.5])
+
+    def test_encode_many(self, tiny_space):
+        configs = tiny_space.sample_configurations(5)
+        X = tiny_space.encode_many(configs)
+        assert X.shape == (5, 4)
+        assert (X >= 0).all() and (X <= 1).all()
+
+    def test_one_hot_encoding(self, tiny_space):
+        default = tiny_space.default_configuration()
+        vec = tiny_space.one_hot_encode(default)
+        assert len(vec) == tiny_space.one_hot_dims() == 3 + 3
+        names = tiny_space.one_hot_feature_names()
+        assert "mode=a" in names and "mode=c" in names
+        # exactly one categorical indicator is hot
+        cat_block = vec[[names.index("mode=a"), names.index("mode=b"), names.index("mode=c")]]
+        assert cat_block.sum() == 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=4, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_encode_decode_is_stable(self, vector):
+        space = ConfigurationSpace(
+            [
+                ContinuousKnob("x", 0.0, 1.0, 0.5),
+                IntegerKnob("n", 1, 1024, 16, log=True),
+                CategoricalKnob("mode", ["a", "b", "c"], "a"),
+                IntegerKnob("count", 0, 100, 10),
+            ]
+        )
+        config = space.decode(vector)
+        again = space.decode(space.encode(config))
+        assert config == again
+
+
+class TestConfigurations:
+    def test_validate_and_complete(self, tiny_space):
+        default = tiny_space.default_configuration()
+        assert tiny_space.validate(default)
+        partial = {"x": 0.9}
+        completed = tiny_space.complete(partial)
+        assert completed["x"] == 0.9
+        assert completed["mode"] == "a"
+        with pytest.raises(KeyError):
+            tiny_space.complete({"unknown": 1})
+
+    def test_validate_rejects_missing_and_invalid(self, tiny_space):
+        assert not tiny_space.validate({"x": 0.5})
+        bad = tiny_space.default_configuration().as_dict()
+        bad["mode"] = "zzz"
+        assert not tiny_space.validate(bad)
+
+    def test_clip(self, tiny_space):
+        wild = {"x": 9.0, "n": 10**9, "mode": "q", "count": -5}
+        clipped = tiny_space.clip(wild)
+        assert tiny_space.validate(clipped)
+
+    def test_sampling_is_seeded(self):
+        knobs = lambda: [  # noqa: E731
+            ContinuousKnob("x", 0.0, 1.0, 0.5),
+            CategoricalKnob("m", ["a", "b"], "a"),
+        ]
+        s1 = ConfigurationSpace(knobs(), seed=5)
+        s2 = ConfigurationSpace(knobs(), seed=5)
+        assert s1.sample_configurations(4) == s2.sample_configurations(4)
+
+
+class TestStructure:
+    def test_subspace_order_and_unknown(self, tiny_space):
+        sub = tiny_space.subspace(["mode", "x"])
+        assert sub.names == ["mode", "x"]
+        with pytest.raises(KeyError):
+            tiny_space.subspace(["nope"])
+
+    def test_neighbors_change_one_knob(self, tiny_space):
+        config = tiny_space.default_configuration()
+        for neighbor in tiny_space.neighbors(config, np.random.default_rng(0)):
+            diff = [k for k in tiny_space.names if neighbor[k] != config[k]]
+            assert len(diff) == 1
+
+    def test_neighbors_cover_categorical_alternatives(self, tiny_space):
+        config = tiny_space.default_configuration()
+        neighbors = tiny_space.neighbors(config, np.random.default_rng(0))
+        modes = {n["mode"] for n in neighbors if n["mode"] != config["mode"]}
+        assert modes == {"b", "c"}
+
+
+class TestConfigurationObject:
+    def test_hash_and_equality(self):
+        a = Configuration({"x": 1, "y": "on"})
+        b = Configuration({"y": "on", "x": 1})
+        assert a == b and hash(a) == hash(b)
+        assert a == {"x": 1, "y": "on"}
+
+    def test_with_values_copies(self):
+        a = Configuration({"x": 1})
+        b = a.with_values(x=2)
+        assert a["x"] == 1 and b["x"] == 2
+
+    def test_as_dict_is_mutable_copy(self):
+        a = Configuration({"x": 1})
+        d = a.as_dict()
+        d["x"] = 99
+        assert a["x"] == 1

@@ -1,0 +1,50 @@
+"""Extra surrogate-benchmark behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.server import RESTART_SECONDS, STRESS_TEST_SECONDS
+from repro.surrogate import SurrogateBenchmark
+from repro.surrogate.models import compare_surrogate_models
+
+
+class TestSpeedupAccounting:
+    def test_speedup_matches_arithmetic(self, sysbench_space):
+        bench = SurrogateBenchmark.build("SYSBENCH", sysbench_space, n_samples=80, seed=1)
+        overhead = 0.5
+        expected = (RESTART_SECONDS + STRESS_TEST_SECONDS + overhead) / (
+            bench.seconds_per_model_eval + overhead
+        )
+        assert bench.speedup_over_real(overhead) == pytest.approx(expected)
+
+    def test_latency_benchmark_direction(self):
+        from repro.dbms.catalog import mysql_knob_space
+
+        space = mysql_knob_space(
+            "B", knob_names=["join_buffer_size", "sort_buffer_size", "tmp_table_size"]
+        )
+        bench = SurrogateBenchmark.build("JOB", space, n_samples=80, seed=2)
+        assert bench.direction == "min"
+        obj = bench.objective()
+        obs = obj(space.default_configuration())
+        assert obs.score == -obs.objective
+
+
+class TestModelComparisonEdgeCases:
+    def test_custom_model_registry(self, small_regression_data):
+        from repro.ml.linear import RidgeRegression
+
+        X, y = small_regression_data
+        results = compare_surrogate_models(
+            X, y, n_splits=3, seed=0,
+            models={"only_ridge": lambda seed: RidgeRegression(alpha=0.5)},
+        )
+        assert len(results) == 1 and results[0].name == "only_ridge"
+
+    def test_no_normalization_path(self, small_regression_data):
+        X, y = small_regression_data
+        results = compare_surrogate_models(
+            X, y, n_splits=3, seed=0, normalize_y=False,
+            models={"rr": lambda seed: __import__("repro.ml.linear", fromlist=["RidgeRegression"]).RidgeRegression(alpha=0.5)},
+        )
+        assert np.isfinite(results[0].rmse)

@@ -1,0 +1,63 @@
+"""Tests for the state-transition surrogate (paper §8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.metrics import INTERNAL_METRIC_NAMES
+from repro.optimizers import DDPG
+from repro.surrogate import MetricAwareSurrogateObjective, MetricSurrogate
+from repro.tuning import TuningSession
+
+
+@pytest.fixture(scope="module")
+def metric_objective(sysbench_space):
+    return MetricAwareSurrogateObjective.build(
+        "SYSBENCH", sysbench_space, n_samples=120, seed=5
+    )
+
+
+class TestMetricSurrogate:
+    def test_predicts_all_metrics(self, metric_objective, sysbench_space):
+        metrics = metric_objective.metric_surrogate.predict(
+            sysbench_space.default_configuration()
+        )
+        assert set(metrics) == set(INTERNAL_METRIC_NAMES)
+        assert all(np.isfinite(v) for v in metrics.values())
+
+    def test_metrics_respond_to_buffer_pool(self, metric_objective, sysbench_space):
+        d = sysbench_space.default_configuration()
+        small = metric_objective.metric_surrogate.predict(
+            d.with_values(innodb_buffer_pool_size=256 * 1024**2)
+        )
+        big = metric_objective.metric_surrogate.predict(
+            d.with_values(innodb_buffer_pool_size=12 * 1024**3)
+        )
+        assert small["bp_hit_rate"] < big["bp_hit_rate"]
+
+    def test_fit_validation(self, sysbench_space):
+        with pytest.raises(ValueError):
+            MetricSurrogate.fit(sysbench_space, [], [])
+        d = sysbench_space.default_configuration()
+        with pytest.raises(ValueError):
+            MetricSurrogate.fit(sysbench_space, [d], [])
+
+
+class TestMetricAwareObjective:
+    def test_observation_carries_metrics(self, metric_objective, sysbench_space):
+        obs = metric_objective(sysbench_space.default_configuration())
+        assert obs.metrics
+        assert not obs.failed
+        assert np.isfinite(obs.score)
+
+    def test_ddpg_runs_on_the_benchmark(self, metric_objective, sysbench_space):
+        """The headline of the extension: RL tuning without a DBMS."""
+        optimizer = DDPG(sysbench_space, seed=0)
+        session = TuningSession(
+            metric_objective, optimizer, sysbench_space,
+            max_iterations=15, n_initial=5, seed=0,
+        )
+        history = session.run()
+        assert len(history) == 15
+        # the agent received non-trivial states (metrics flowed through)
+        assert optimizer.agent.norm.count > 0
+        assert history.best().objective > 0

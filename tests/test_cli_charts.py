@@ -1,0 +1,87 @@
+"""Tests for the CLI and terminal charts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.charts import sparkline, trajectory_chart
+from repro.cli import build_parser, main
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert len(line) == 5
+        assert line == "".join(sorted(line))
+
+    def test_constant_series(self):
+        assert sparkline([3, 3, 3]) == "▄▄▄"
+
+    def test_downsampling(self):
+        line = sparkline(list(range(500)), width=50)
+        assert len(line) == 50
+
+    def test_empty_and_nan(self):
+        assert sparkline([]) == ""
+        assert sparkline([float("nan")]) == ""
+        assert len(sparkline([float("nan"), 1.0, 2.0])) == 2
+
+    def test_trajectory_chart_layout(self):
+        chart = trajectory_chart({"a": [1, 2], "longer": [5, 1]})
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a     ")
+        assert lines[1].startswith("longer")
+        assert chart and "|" in chart
+
+    def test_trajectory_chart_empty(self):
+        assert trajectory_chart({}) == ""
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["tune", "--workload", "SYSBENCH", "--iterations", "5"])
+        assert args.command == "tune" and args.iterations == 5
+        args = parser.parse_args(["rank", "--measurement", "gini"])
+        assert args.measurement == "gini"
+        args = parser.parse_args(["experiment", "table9"])
+        assert args.name == "table9"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "bogus"])
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "SYSBENCH" in out and "Table 4" in out
+
+    def test_tune_command_smoke(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--workload", "Voter",
+                "--optimizer", "random",
+                "--iterations", "6",
+                "--top-knobs", "5",
+                "--pool-samples", "120",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best objective" in out
+        assert "improvement" in out
+
+    def test_rank_command_smoke(self, capsys):
+        code = main(
+            [
+                "rank",
+                "--workload", "SYSBENCH",
+                "--measurement", "gini",
+                "--samples", "80",
+                "--top", "5",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ranking for SYSBENCH" in out

@@ -1,0 +1,62 @@
+"""Tests for the end-to-end path search (paper §9.2 extension)."""
+
+import pytest
+
+from repro.tuning.path_search import PathResult, PathSearch, TuningPath
+
+
+class TestPathSearch:
+    def test_default_paths_cross_product(self):
+        paths = PathSearch.default_paths()
+        assert len(paths) == 8
+        assert TuningPath("shap", 20, "smac") in paths
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathSearch("SYSBENCH", eta=1)
+        with pytest.raises(ValueError):
+            PathSearch("SYSBENCH", total_budget=5)
+        with pytest.raises(ValueError):
+            PathSearch("SYSBENCH", paths=[])
+
+    def test_successive_halving_eliminates_and_ranks(self):
+        paths = [
+            TuningPath("gini", 5, "smac"),
+            TuningPath("gini", 5, "random"),
+            TuningPath("gini", 10, "smac"),
+            TuningPath("gini", 10, "random"),
+        ]
+        search = PathSearch(
+            "Voter",
+            paths=paths,
+            pool_samples=120,
+            total_budget=60,
+            eta=2,
+            seed=1,
+        )
+        results = search.run()
+        assert len(results) == 4
+        # best-first ordering
+        scores = [r.best_score for r in results]
+        assert scores == sorted(scores, reverse=True)
+        # at least half the paths were eliminated before the final round
+        eliminated = [r for r in results if r.eliminated_at_round is not None]
+        assert len(eliminated) >= 2
+        # survivors spent more budget than early casualties
+        survivor = results[0]
+        casualty = next(r for r in results if r.eliminated_at_round == 0)
+        assert survivor.iterations_used >= casualty.iterations_used
+
+    def test_rankings_cached_across_paths(self):
+        search = PathSearch(
+            "Voter",
+            paths=[TuningPath("gini", 5, "random"), TuningPath("gini", 10, "random")],
+            pool_samples=100,
+            total_budget=40,
+            seed=2,
+        )
+        search.run()
+        assert set(search._rankings) == {"gini"}  # computed once, reused
+
+    def test_path_str(self):
+        assert str(TuningPath("shap", 20, "smac")) == "shap/top-20/smac"

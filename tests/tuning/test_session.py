@@ -1,0 +1,190 @@
+"""Tests for objectives, sessions (failure clamping), and tuning metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.server import MySQLServer
+from repro.optimizers import RandomSearch, VanillaBO
+from repro.optimizers.base import History, Observation
+from repro.space import Configuration
+from repro.tuning import (
+    DatabaseObjective,
+    SurrogateObjective,
+    TuningSession,
+    average_ranks,
+    improvement_over_default,
+    performance_enhancement,
+    speedup,
+)
+
+GB = 1024**3
+
+
+class TestDatabaseObjective:
+    def test_throughput_scores_positive(self, sysbench_space, sysbench_server):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        obs = obj(sysbench_space.default_configuration())
+        assert obs.score == obs.objective > 0
+        assert obj.direction == "max"
+
+    def test_latency_scores_negated(self, job_server, mysql_space):
+        obj = DatabaseObjective(job_server, mysql_space)
+        obs = obj(mysql_space.default_configuration())
+        assert obs.score == -obs.objective < 0
+        assert obj.direction == "min"
+
+    def test_failure_fallback_is_worse_than_default(self, sysbench_server, sysbench_space):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        assert obj.failure_fallback_score() < obj.default_score()
+
+    def test_failure_fallback_latency(self, job_server, mysql_space):
+        obj = DatabaseObjective(job_server, mysql_space)
+        assert obj.failure_fallback_score() < obj.default_score()
+
+
+class TestSurrogateObjective:
+    def test_prediction_objective(self, tiny_space):
+        predictor = lambda X: X[:, 0] * 100.0  # noqa: E731
+        obj = SurrogateObjective(tiny_space, predictor, direction="max")
+        obs = obj(tiny_space.default_configuration())
+        assert obs.objective == pytest.approx(50.0)
+        assert not obs.failed
+        assert obj.n_evaluations == 1
+
+    def test_latency_direction(self, tiny_space):
+        predictor = lambda X: np.full(len(X), 10.0)  # noqa: E731
+        obj = SurrogateObjective(tiny_space, predictor, direction="min")
+        assert obj(tiny_space.default_configuration()).score == -10.0
+
+    def test_invalid_direction(self, tiny_space):
+        with pytest.raises(ValueError):
+            SurrogateObjective(tiny_space, lambda X: X, direction="sideways")
+
+
+class TestTuningSession:
+    def test_runs_requested_iterations(self, sysbench_space, sysbench_server):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        session = TuningSession(
+            obj, RandomSearch(sysbench_space, seed=0), sysbench_space,
+            max_iterations=12, n_initial=5, seed=0,
+        )
+        history = session.run()
+        assert len(history) == 12
+
+    def test_lhs_initialization_used_for_bo(self, sysbench_space, sysbench_server):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        session = TuningSession(
+            obj, VanillaBO(sysbench_space, seed=0), sysbench_space,
+            max_iterations=10, n_initial=10, seed=0,
+        )
+        history = session.run()
+        # all 10 iterations came from the LHS batch: no suggest overhead
+        assert all(o.suggest_seconds == 0.0 for o in history)
+
+    def test_failures_clamped_to_worst_seen(self, sysbench_space):
+        server = MySQLServer("SYSBENCH", "B", seed=1)
+        obj = DatabaseObjective(server, sysbench_space)
+        session = TuningSession(
+            obj, RandomSearch(sysbench_space, seed=5), sysbench_space,
+            max_iterations=40, n_initial=0, seed=1,
+        )
+        history = session.run()
+        failed = [o for o in history if o.failed]
+        assert failed, "expected at least one OOM in 40 random configs"
+        for obs in failed:
+            # clamped to the worst success seen *before* the failure
+            prior = [o.score for o in history if not o.failed and o.iteration < obs.iteration]
+            expected = min(prior) if prior else obj.failure_fallback_score()
+            assert obs.score == expected
+            assert np.isfinite(obs.score)
+
+    def test_first_failure_uses_fallback(self, sysbench_space):
+        class AlwaysFails:
+            def __call__(self, config):
+                return Observation(
+                    config=Configuration(dict(config)), objective=float("nan"),
+                    score=float("nan"), failed=True,
+                )
+
+            def failure_fallback_score(self):
+                return -123.0
+
+            def default_score(self):
+                return 0.0
+
+        session = TuningSession(
+            AlwaysFails(), RandomSearch(sysbench_space, seed=0), sysbench_space,
+            max_iterations=3, n_initial=0, seed=0,
+        )
+        history = session.run()
+        assert all(o.score == -123.0 for o in history)
+
+    def test_callback_invoked(self, sysbench_space, sysbench_server):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        seen = []
+        session = TuningSession(
+            obj, RandomSearch(sysbench_space, seed=0), sysbench_space,
+            max_iterations=5, n_initial=0, seed=0,
+        )
+        session.run(callback=lambda i, o: seen.append(i))
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_warm_start_counts_into_history(self, sysbench_space, sysbench_server):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        warm = [obj(sysbench_space.default_configuration())]
+        session = TuningSession(
+            obj, RandomSearch(sysbench_space, seed=0), sysbench_space,
+            max_iterations=4, n_initial=0, seed=0, warm_start=warm,
+        )
+        history = session.run()
+        assert len(history) == 5
+
+    def test_simulated_hours(self, sysbench_space, sysbench_server):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        session = TuningSession(
+            obj, RandomSearch(sysbench_space, seed=0), sysbench_space,
+            max_iterations=10, n_initial=0, seed=0,
+        )
+        session.run()
+        assert session.total_simulated_hours() > 0.4  # ~10 * 215s
+
+
+class TestMetrics:
+    def test_improvement_directions(self):
+        assert improvement_over_default(150.0, 100.0, "max") == pytest.approx(0.5)
+        assert improvement_over_default(50.0, 100.0, "min") == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            improvement_over_default(1.0, 0.0, "max")
+        with pytest.raises(ValueError):
+            improvement_over_default(1.0, 1.0, "up")
+
+    def test_performance_enhancement(self):
+        assert performance_enhancement(110.0, 100.0) == pytest.approx(0.1)
+        assert performance_enhancement(-90.0, -100.0) == pytest.approx(0.1)
+
+    def test_speedup(self, tiny_space):
+        base = History(tiny_space)
+        for i, s in enumerate([1.0, 2.0, 3.0]):
+            base.append(Observation(config=tiny_space.complete({"count": i}), objective=s, score=s))
+        fast = History(tiny_space)
+        fast.append(Observation(config=tiny_space.complete({"count": 50}), objective=4.0, score=4.0))
+        assert speedup(base, fast) == pytest.approx(3.0)
+        slow = History(tiny_space)
+        slow.append(Observation(config=tiny_space.complete({"count": 51}), objective=0.5, score=0.5))
+        assert speedup(base, slow) is None
+
+    def test_average_ranks(self):
+        results = {"a": [3.0, 3.0], "b": [2.0, 2.0], "c": [1.0, 1.0]}
+        ranks = average_ranks(results, higher_is_better=True)
+        assert ranks == {"a": 1.0, "b": 2.0, "c": 3.0}
+        ranks_min = average_ranks(results, higher_is_better=False)
+        assert ranks_min["c"] == 1.0
+
+    def test_average_ranks_ties(self):
+        ranks = average_ranks({"a": [1.0], "b": [1.0]})
+        assert ranks == {"a": 1.5, "b": 1.5}
+
+    def test_average_ranks_validation(self):
+        with pytest.raises(ValueError):
+            average_ranks({"a": [1.0], "b": [1.0, 2.0]})
+        assert average_ranks({}) == {}

@@ -1,0 +1,86 @@
+"""Tests for transaction-trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.server import MySQLServer
+from repro.workloads import get_workload
+from repro.workloads.trace import (
+    TransactionTrace,
+    latency_percentile_objective,
+    synthesize_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def stress_result():
+    server = MySQLServer("SYSBENCH", "B", noise=False)
+    return server.evaluate(server.default_configuration())
+
+
+class TestSynthesizeTrace:
+    def test_littles_law_holds(self, stress_result):
+        workload = get_workload("SYSBENCH")
+        trace = synthesize_trace(stress_result, workload, seed=0)
+        expected_mean = 1000.0 * workload.client_threads / stress_result.objective
+        assert trace.mean_latency_ms == pytest.approx(expected_mean, rel=1e-6)
+
+    def test_throughput_consistent(self, stress_result):
+        workload = get_workload("SYSBENCH")
+        trace = synthesize_trace(stress_result, workload, duration_s=30, seed=0)
+        assert trace.throughput == pytest.approx(stress_result.objective, rel=0.05)
+
+    def test_heavy_tail_present(self, stress_result):
+        workload = get_workload("SYSBENCH")
+        trace = synthesize_trace(stress_result, workload, seed=0)
+        # p99 well above the median: the stall tail exists
+        assert trace.percentile(99) > 3.0 * trace.percentile(50)
+
+    def test_deterministic_given_seed(self, stress_result):
+        workload = get_workload("SYSBENCH")
+        a = synthesize_trace(stress_result, workload, seed=5)
+        b = synthesize_trace(stress_result, workload, seed=5)
+        np.testing.assert_array_equal(a.latencies_ms, b.latencies_ms)
+
+    def test_failed_result_rejected(self):
+        server = MySQLServer("SYSBENCH", "B", noise=False)
+        bad = server.evaluate(
+            server.default_configuration().with_values(
+                innodb_buffer_pool_size=38 * 1024**3
+            )
+        )
+        assert bad.failed
+        with pytest.raises(ValueError):
+            synthesize_trace(bad, get_workload("SYSBENCH"))
+
+    def test_duration_validation(self, stress_result):
+        with pytest.raises(ValueError):
+            synthesize_trace(stress_result, get_workload("SYSBENCH"), duration_s=0)
+
+    def test_transaction_cap(self, stress_result):
+        trace = synthesize_trace(
+            stress_result, get_workload("SYSBENCH"), duration_s=10_000, seed=0
+        )
+        assert len(trace.latencies_ms) <= 200_000
+
+
+class TestPercentileObjective:
+    def test_better_config_lower_p95(self):
+        server = MySQLServer("SYSBENCH", "B", noise=False)
+        workload = get_workload("SYSBENCH")
+        default = server.evaluate(server.default_configuration())
+        tuned = server.evaluate(
+            server.default_configuration().with_values(
+                innodb_flush_log_at_trx_commit="0",
+                innodb_log_file_size=4 * 1024**3,
+            )
+        )
+        p95_default = latency_percentile_objective(default, workload, seed=0)
+        p95_tuned = latency_percentile_objective(tuned, workload, seed=0)
+        assert p95_tuned < p95_default
+
+    def test_percentile_validation(self, stress_result):
+        trace = synthesize_trace(stress_result, get_workload("SYSBENCH"), seed=0)
+        with pytest.raises(ValueError):
+            trace.percentile(101)
+        assert isinstance(trace, TransactionTrace)
