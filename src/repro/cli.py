@@ -41,6 +41,13 @@ EXPERIMENTS = (
 )
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -73,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=EXPERIMENTS)
     exp.add_argument("--scale", default="bench", choices=("quick", "bench", "paper"))
     exp.add_argument("--seed", type=int, default=17)
+    exp.add_argument(
+        "--n-workers",
+        type=_positive_int,
+        default=1,
+        dest="n_workers",
+        help="fan independent tuning runs out over this many processes "
+        "(results are identical for any value)",
+    )
+    exp.add_argument(
+        "--telemetry",
+        default=None,
+        dest="telemetry",
+        help="append per-run JSONL telemetry records to this file "
+        "(fig9 only)",
+    )
 
     return parser
 
@@ -184,9 +206,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     scale = {"quick": quick_scale, "bench": bench_scale, "paper": paper_scale}[args.scale]()
     name = args.name
-    print(f"running {name} at {args.scale} scale ...")
+    workers = args.n_workers
+    print(f"running {name} at {args.scale} scale ({workers} worker(s)) ...")
     if name == "table6":
-        result = importance_comparison(scale=scale, seed=args.seed)
+        result = importance_comparison(scale=scale, seed=args.seed, n_workers=workers)
         ranking = sorted(result.overall_ranking.items(), key=lambda t: t[1])
         print(format_table(["Measurement", "Avg rank"], ranking, title="Table 6"))
     elif name == "fig4":
@@ -198,26 +221,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ]
         print(format_table(["Measurement", "#Samples", "IoU", "R2"], rows, title="Figure 4"))
     elif name == "fig5":
-        points = knob_count_sweep(scale=scale, seed=args.seed)
+        points = knob_count_sweep(scale=scale, seed=args.seed, n_workers=workers)
         rows = [
             (p.workload, p.n_knobs, 100 * p.improvement, p.tuning_cost_iterations)
             for p in points
         ]
         print(format_table(["Workload", "#Knobs", "Impr %", "Cost"], rows, title="Figure 5"))
     elif name == "fig6":
-        results = incremental_comparison(scale=scale, seed=args.seed)
-        for workload in {r.workload for r in results}:
+        results = incremental_comparison(scale=scale, seed=args.seed, n_workers=workers)
+        for workload in dict.fromkeys(r.workload for r in results):
             series = {
                 r.strategy: r.trajectory for r in results if r.workload == workload
             }
             print(f"\n{workload}:")
             print(trajectory_chart(series, value_format="{:+.2f}"))
     elif name == "fig7":
-        result = optimizer_comparison(scale=scale, seed=args.seed)
+        result = optimizer_comparison(scale=scale, seed=args.seed, n_workers=workers)
         ranking = sorted(result.rankings["overall"].items(), key=lambda t: t[1])
         print(format_table(["Optimizer", "Overall rank"], ranking, title="Table 7"))
     elif name == "fig8":
-        rows = heterogeneity_comparison(scale=scale, seed=args.seed)
+        rows = heterogeneity_comparison(scale=scale, seed=args.seed, n_workers=workers)
         print(
             format_table(
                 ["Space", "Optimizer", "Impr %"],
@@ -226,7 +249,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
         )
     elif name == "fig9":
-        rows = overhead_comparison(scale=scale, seed=args.seed)
+        rows = overhead_comparison(
+            scale=scale, seed=args.seed, n_workers=workers, telemetry_path=args.telemetry
+        )
         print(
             format_table(
                 ["Optimizer", "Total overhead (s)"],
@@ -235,7 +260,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
         )
     elif name == "table8":
-        result = transfer_comparison(scale=scale, seed=args.seed)
+        result = transfer_comparison(scale=scale, seed=args.seed, n_workers=workers)
         rows = [
             (
                 r.target,
@@ -257,7 +282,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 )
             )
     elif name == "fig10":
-        result = surrogate_tuning_comparison(scale=scale, seed=args.seed)
+        result = surrogate_tuning_comparison(scale=scale, seed=args.seed, n_workers=workers)
         print(
             format_table(
                 ["Optimizer", "Impr %"],

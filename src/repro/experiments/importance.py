@@ -9,7 +9,7 @@ from repro.dbms.catalog import mysql_knob_space
 from repro.experiments.runner import median_improvement, run_sessions
 from repro.experiments.scale import Scale, bench_scale
 from repro.experiments.spaces import workload_pool
-from repro.optimizers import DDPG, VanillaBO
+from repro.parallel import RegistryOptimizerFactory
 from repro.selection import MEASUREMENT_REGISTRY
 from repro.tuning.metrics import average_ranks
 
@@ -46,12 +46,10 @@ class ImportanceComparison:
     top_knobs: dict[tuple[str, str], list[str]]
 
 
-def _optimizer_factory(name: str):
-    if name == "vanilla_bo":
-        return lambda space, seed: VanillaBO(space, seed=seed)
-    if name == "ddpg":
-        return lambda space, seed: DDPG(space, seed=seed)
-    raise ValueError(f"unsupported optimizer {name!r}")
+def _optimizer_factory(name: str) -> RegistryOptimizerFactory:
+    if name not in ("vanilla_bo", "ddpg"):
+        raise ValueError(f"unsupported optimizer {name!r}")
+    return RegistryOptimizerFactory(name)
 
 
 def importance_comparison(
@@ -62,6 +60,7 @@ def importance_comparison(
     scale: Scale | None = None,
     instance: str = "B",
     seed: int = 17,
+    n_workers: int = 1,
 ) -> ImportanceComparison:
     """Tune over each measurement's top-k knob sets (Figure 3, Table 6).
 
@@ -98,6 +97,7 @@ def importance_comparison(
                         n_initial=scale.n_initial,
                         instance=instance,
                         seed=seed,
+                        n_workers=n_workers,
                     )
                     rows.append(
                         ImportanceRow(

@@ -13,6 +13,7 @@ from repro.experiments.scale import Scale, bench_scale
 from repro.experiments.spaces import shap_ranked_knobs
 from repro.optimizers import VanillaBO
 from repro.optimizers.base import History
+from repro.parallel import RegistryOptimizerFactory
 from repro.selection.incremental import DecrementalTuner, IncrementalTuner
 from repro.tuning.metrics import improvement_over_default
 from repro.tuning.objective import DatabaseObjective
@@ -34,6 +35,7 @@ def knob_count_sweep(
     scale: Scale | None = None,
     instance: str = "B",
     seed: int = 17,
+    n_workers: int = 1,
 ) -> list[KnobCountPoint]:
     """Figure 5: vanilla-BO improvement/cost vs SHAP-ranked knob count.
 
@@ -50,12 +52,13 @@ def knob_count_sweep(
             histories = run_sessions(
                 workload,
                 space,
-                lambda s, sd: VanillaBO(s, seed=sd),
+                RegistryOptimizerFactory("vanilla_bo"),
                 n_runs=scale.n_runs,
                 n_iterations=scale.knob_count_iterations,
                 n_initial=scale.n_initial,
                 instance=instance,
                 seed=seed,
+                n_workers=n_workers,
             )
             costs = []
             for h in histories:
@@ -105,6 +108,7 @@ def incremental_comparison(
     scale: Scale | None = None,
     instance: str = "B",
     seed: int = 17,
+    n_workers: int = 1,
 ) -> list[IncrementalResult]:
     """Figure 6: incremental increase/decrease vs fixed top-5/top-20.
 
@@ -152,12 +156,13 @@ def incremental_comparison(
             history = run_sessions(
                 workload,
                 full.subspace(ranked[:k], seed=seed),
-                lambda s, sd: VanillaBO(s, seed=sd),
+                RegistryOptimizerFactory("vanilla_bo"),
                 n_runs=1,
                 n_iterations=total,
                 n_initial=scale.n_initial,
                 instance=instance,
                 seed=seed,
+                n_workers=n_workers,
             )[0]
             strategies[label] = history
 

@@ -10,8 +10,7 @@ from repro.analysis.overhead import overhead_at_checkpoints
 from repro.experiments.runner import median_improvement, run_sessions
 from repro.experiments.scale import Scale, bench_scale
 from repro.experiments.spaces import heterogeneity_spaces, paper_spaces
-from repro.optimizers import OPTIMIZER_REGISTRY
-from repro.optimizers.base import History
+from repro.parallel import RegistryOptimizerFactory
 from repro.tuning.metrics import average_ranks
 
 #: The seven optimizers of Table 3, in the paper's reporting order.
@@ -25,7 +24,6 @@ OPTIMIZERS = (
     "ga",
 )
 
-
 @dataclass
 class OptimizerRow:
     """One Figure 7 curve endpoint."""
@@ -36,14 +34,12 @@ class OptimizerRow:
     improvement: float
     best_trajectory: list[float]
 
-
 @dataclass
 class OptimizerComparison:
     """Figure 7 data plus Table 7 per-size and overall rankings."""
 
     rows: list[OptimizerRow]
     rankings: dict[str, dict[str, float]]  # space size (+ "overall") -> ranking
-
 
 def optimizer_comparison(
     workloads: tuple[str, ...] = ("SYSBENCH", "JOB"),
@@ -52,6 +48,7 @@ def optimizer_comparison(
     scale: Scale | None = None,
     instance: str = "B",
     seed: int = 17,
+    n_workers: int = 1,
 ) -> OptimizerComparison:
     """Figure 7 / Table 7: all optimizers over small/medium/large spaces."""
     scale = scale or bench_scale()
@@ -64,12 +61,13 @@ def optimizer_comparison(
                 histories = run_sessions(
                     workload,
                     space,
-                    lambda s, sd, _n=name: OPTIMIZER_REGISTRY[_n](s, seed=sd),
+                    RegistryOptimizerFactory(name),
                     n_runs=scale.n_runs,
                     n_iterations=scale.n_iterations,
                     n_initial=scale.n_initial,
                     instance=instance,
                     seed=seed,
+                    n_workers=n_workers,
                 )
                 trajectory = histories[0].best_score_trajectory().tolist()
                 rows.append(
@@ -99,7 +97,6 @@ def optimizer_comparison(
     rankings["overall"] = average_ranks(per_opt_all, higher_is_better=True)
     return OptimizerComparison(rows=rows, rankings=rankings)
 
-
 @dataclass
 class HeterogeneityRow:
     """One Figure 8 curve."""
@@ -109,13 +106,13 @@ class HeterogeneityRow:
     improvement: float
     best_trajectory: list[float]
 
-
 def heterogeneity_comparison(
     workload: str = "JOB",
     optimizers: tuple[str, ...] = ("vanilla_bo", "mixed_kernel_bo", "smac", "ddpg"),
     scale: Scale | None = None,
     instance: str = "B",
     seed: int = 17,
+    n_workers: int = 1,
 ) -> list[HeterogeneityRow]:
     """Figure 8: continuous vs heterogeneous top-20 spaces on JOB."""
     scale = scale or bench_scale()
@@ -126,12 +123,13 @@ def heterogeneity_comparison(
             histories = run_sessions(
                 workload,
                 space,
-                lambda s, sd, _n=name: OPTIMIZER_REGISTRY[_n](s, seed=sd),
+                RegistryOptimizerFactory(name),
                 n_runs=scale.n_runs,
                 n_iterations=scale.n_iterations,
                 n_initial=scale.n_initial,
                 instance=instance,
                 seed=seed,
+                n_workers=n_workers,
             )
             rows.append(
                 HeterogeneityRow(
@@ -143,7 +141,6 @@ def heterogeneity_comparison(
             )
     return rows
 
-
 @dataclass
 class OverheadRow:
     """One Figure 9 series: per-iteration overhead at checkpoints."""
@@ -151,7 +148,6 @@ class OverheadRow:
     optimizer: str
     checkpoints: dict[int, float]
     total_seconds: float
-
 
 def overhead_comparison(
     workload: str = "JOB",
@@ -161,12 +157,16 @@ def overhead_comparison(
     scale: Scale | None = None,
     instance: str = "B",
     seed: int = 17,
+    n_workers: int = 1,
+    telemetry_path: str | None = None,
 ) -> list[OverheadRow]:
     """Figure 9: suggestion wall-time per iteration over the medium space.
 
     GP-based optimizers refit an exact GP on the full history each
     iteration, so their overhead grows superlinearly; forest/parzen/RL
-    methods stay near-constant.
+    methods stay near-constant.  ``telemetry_path`` appends the per-run
+    JSONL records (suggest/eval wall-time, failures, simulated hours)
+    that this figure's analysis is derived from.
     """
     scale = scale or bench_scale()
     iters = n_iterations if n_iterations is not None else min(3 * scale.n_iterations, 400)
@@ -176,12 +176,14 @@ def overhead_comparison(
         histories = run_sessions(
             workload,
             space,
-            lambda s, sd, _n=name: OPTIMIZER_REGISTRY[_n](s, seed=sd),
+            RegistryOptimizerFactory(name),
             n_runs=1,
             n_iterations=iters,
             n_initial=scale.n_initial,
             instance=instance,
             seed=seed,
+            n_workers=n_workers,
+            telemetry_path=telemetry_path,
         )
         times = [o.suggest_seconds for o in histories[0]]
         rows.append(

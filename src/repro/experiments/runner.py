@@ -1,19 +1,71 @@
-"""Shared session-running helpers for experiment harnesses."""
+"""Shared session-running helpers for experiment harnesses.
+
+``run_sessions`` is now a thin facade over :mod:`repro.parallel`: it
+materializes one :class:`~repro.parallel.RunSpec` per run (with seeds
+derived up front via ``SeedSequence.spawn``) and hands the batch to a
+:class:`~repro.parallel.ParallelExecutor`.  ``n_workers=1`` preserves the
+historical serial behavior; any larger value fans the independent runs
+out over a process pool and returns bit-identical histories.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
 
 from repro.dbms.server import MySQLServer
 from repro.optimizers.base import History, Optimizer
+from repro.parallel import ParallelExecutor, RunSpec, derive_run_seeds
 from repro.space import ConfigurationSpace
 from repro.tuning.metrics import improvement_over_default
-from repro.tuning.objective import DatabaseObjective
-from repro.tuning.session import TuningSession
 
 OptimizerFactory = Callable[[ConfigurationSpace, int], Optimizer]
+
+
+def build_session_specs(
+    workload: str,
+    space: ConfigurationSpace,
+    optimizer_factory: OptimizerFactory,
+    n_runs: int,
+    n_iterations: int,
+    n_initial: int = 10,
+    instance: str = "B",
+    seed: int = 0,
+) -> list[RunSpec]:
+    """One spec per run, with independent per-run seed triples.
+
+    The simulator's noise stream, the optimizer's sampling stream, and
+    the session's LHS stream are spawned from disjoint ``SeedSequence``
+    children — they were previously derived by integer offsets from the
+    same root, which made run 0's server and optimizer share the exact
+    seed value and correlate their streams.
+    """
+    seeds = derive_run_seeds(seed, n_runs)
+    return [
+        RunSpec(
+            run_index=run,
+            workload=workload,
+            instance=instance,
+            space=space,
+            optimizer_factory=optimizer_factory,
+            n_iterations=n_iterations,
+            n_initial=n_initial,
+            server_seed=seeds[run].server,
+            optimizer_seed=seeds[run].optimizer,
+            session_seed=seeds[run].session,
+            tags={
+                "workload": workload,
+                "instance": instance,
+                "optimizer": getattr(
+                    optimizer_factory, "optimizer_name", type(optimizer_factory).__name__
+                ),
+                "run": run,
+            },
+        )
+        for run in range(n_runs)
+    ]
 
 
 def run_sessions(
@@ -25,29 +77,55 @@ def run_sessions(
     n_initial: int = 10,
     instance: str = "B",
     seed: int = 0,
+    n_workers: int = 1,
+    telemetry_path: str | None = None,
 ) -> list[History]:
-    """Run repeated tuning sessions (fresh server + optimizer per run)."""
-    histories: list[History] = []
-    for run in range(n_runs):
-        server = MySQLServer(workload, instance, seed=seed + 1000 * run)
-        objective = DatabaseObjective(server, space)
-        optimizer = optimizer_factory(space, seed + run)
-        session = TuningSession(
-            objective,
-            optimizer,
-            space,
-            max_iterations=n_iterations,
-            n_initial=n_initial,
-            seed=seed + 10_000 + run,
+    """Run repeated tuning sessions (fresh server + optimizer per run).
+
+    For a fixed ``seed`` the returned histories are identical for every
+    ``n_workers``; a run whose worker crashes is retried once and, if it
+    fails again, dropped from the result with a warning instead of
+    aborting the study.
+    """
+    specs = build_session_specs(
+        workload,
+        space,
+        optimizer_factory,
+        n_runs,
+        n_iterations,
+        n_initial=n_initial,
+        instance=instance,
+        seed=seed,
+    )
+    executor = ParallelExecutor(n_workers=n_workers, telemetry_path=telemetry_path)
+    results = executor.run(specs)
+    dead = [r for r in results if r.history is None]
+    if dead:
+        first = dead[0].error or "unknown error"
+        warnings.warn(
+            f"{len(dead)}/{n_runs} runs failed after retry "
+            f"(first error: {first.splitlines()[0]})",
+            RuntimeWarning,
+            stacklevel=2,
         )
-        histories.append(session.run())
-    return histories
+    return [r.history for r in results if r.history is not None]
+
+
+def count_failed_runs(histories: list[History]) -> int:
+    """Runs that never produced a successful observation."""
+    return sum(1 for h in histories if not h.successful())
 
 
 def median_improvement(
     histories: list[History], workload: str, instance: str = "B"
 ) -> float:
-    """Median best-improvement over the default across repeated sessions."""
+    """Median best-improvement over the default across repeated sessions.
+
+    Runs with no successful observation are excluded (they used to inject
+    ``-inf``, which could drag the median to ``-inf`` and poison every
+    downstream table); if *all* runs failed the result is NaN and a
+    warning reports the failure count.
+    """
     server = MySQLServer(workload, instance, noise=False)
     default = server.default_objective()
     direction = server.objective_direction
@@ -56,18 +134,35 @@ def median_improvement(
         try:
             best = h.best().objective
         except ValueError:
-            improvements.append(float("-inf"))
             continue
         improvements.append(improvement_over_default(best, default, direction))
+    if not improvements:
+        warnings.warn(
+            f"all {count_failed_runs(histories)} runs failed; median undefined",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return float("nan")
     return float(np.median(improvements))
 
 
 def median_best_score(histories: list[History]) -> float:
-    """Median of best scores across sessions (maximization scale)."""
+    """Median of best scores across sessions (maximization scale).
+
+    Failed runs are skipped rather than scored ``-inf``; NaN (plus a
+    warning with the failure count) when no run succeeded.
+    """
     bests = []
     for h in histories:
         try:
             bests.append(h.best().score)
         except ValueError:
-            bests.append(float("-inf"))
+            continue
+    if not bests:
+        warnings.warn(
+            f"all {count_failed_runs(histories)} runs failed; median undefined",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return float("nan")
     return float(np.median(bests))

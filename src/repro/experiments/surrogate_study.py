@@ -9,12 +9,11 @@ import numpy as np
 from repro.dbms.server import RESTART_SECONDS, STRESS_TEST_SECONDS, MySQLServer
 from repro.experiments.scale import Scale, bench_scale
 from repro.experiments.spaces import paper_spaces
-from repro.optimizers import OPTIMIZER_REGISTRY
+from repro.parallel import ParallelExecutor, RegistryOptimizerFactory, RunSpec
 from repro.selection.base import collect_samples
 from repro.surrogate.benchmark import SurrogateBenchmark
 from repro.surrogate.models import SurrogateModelScore, compare_surrogate_models
 from repro.tuning.metrics import improvement_over_default
-from repro.tuning.session import TuningSession
 
 
 def surrogate_model_table(
@@ -66,6 +65,7 @@ def surrogate_tuning_comparison(
     n_runs: int | None = None,
     instance: str = "B",
     seed: int = 17,
+    n_workers: int = 1,
 ) -> SurrogateTuningComparison:
     """Figure 10: optimizer comparison on the RF surrogate benchmark.
 
@@ -80,33 +80,44 @@ def surrogate_tuning_comparison(
     bench = SurrogateBenchmark.build(
         workload, space, n_samples=scale.n_pool_samples, instance=instance, seed=seed
     )
+    specs = [
+        RunSpec(
+            run_index=len(optimizers) * run + opt_idx,
+            workload=workload,
+            instance=instance,
+            space=space,
+            objective=bench.objective(),
+            optimizer_factory=RegistryOptimizerFactory(name),
+            optimizer_seed=seed + run,
+            session_seed=seed + 31 * run,
+            n_iterations=scale.n_iterations,
+            n_initial=scale.n_initial,
+            tags={"workload": workload, "optimizer": name, "run": run},
+        )
+        for opt_idx, name in enumerate(optimizers)
+        for run in range(runs)
+    ]
+    results = ParallelExecutor(n_workers=n_workers).run(specs)
+    by_name: dict[str, list] = {name: [] for name in optimizers}
+    for spec, result in zip(specs, results):
+        if result.history is None:
+            raise RuntimeError(
+                f"surrogate run {spec.tags} failed: {result.error}"
+            )
+        by_name[spec.tags["optimizer"]].append(result.history)
+
     rows: list[SurrogateTuningRow] = []
     speedups: list[float] = []
     for name in optimizers:
-        improvements: list[float] = []
-        trajectory: list[float] = []
-        overhead = 0.0
-        for run in range(runs):
-            objective = bench.objective()
-            optimizer = OPTIMIZER_REGISTRY[name](space, seed=seed + run)
-            session = TuningSession(
-                objective,
-                optimizer,
-                space,
-                max_iterations=scale.n_iterations,
-                n_initial=scale.n_initial,
-                seed=seed + 31 * run,
+        histories = by_name[name]
+        improvements = [
+            improvement_over_default(
+                h.best().objective, bench.default_objective, bench.direction
             )
-            history = session.run()
-            best = history.best().objective
-            improvements.append(
-                improvement_over_default(
-                    best, bench.default_objective, bench.direction
-                )
-            )
-            if run == 0:
-                trajectory = history.best_score_trajectory().tolist()
-            overhead = sum(o.suggest_seconds for o in history)
+            for h in histories
+        ]
+        trajectory = histories[0].best_score_trajectory().tolist()
+        overhead = sum(o.suggest_seconds for o in histories[-1])
         real_session = scale.n_iterations * (RESTART_SECONDS + STRESS_TEST_SECONDS) + overhead
         cheap_session = scale.n_iterations * bench.seconds_per_model_eval + overhead
         speedups.append(real_session / cheap_session)

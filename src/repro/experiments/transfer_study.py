@@ -8,9 +8,9 @@ import numpy as np
 
 from repro.experiments.scale import Scale, bench_scale
 from repro.experiments.spaces import transfer_space
-from repro.dbms.server import MySQLServer
 from repro.optimizers import DDPG, MixedKernelBO, SMAC
-from repro.optimizers.base import History
+from repro.optimizers.base import Optimizer
+from repro.parallel import ParallelExecutor, RunSpec
 from repro.transfer import (
     MappedOptimizer,
     RGPEMixedKernelBO,
@@ -19,8 +19,6 @@ from repro.transfer import (
     pretrain_ddpg,
 )
 from repro.tuning.metrics import average_ranks, performance_enhancement, speedup
-from repro.tuning.objective import DatabaseObjective
-from repro.tuning.session import TuningSession
 
 #: Paper §7.1: source workloads for historical data / pre-training.
 SOURCE_WORKLOADS = ("SEATS", "Voter", "TATP", "Smallbank", "SIBench")
@@ -46,19 +44,38 @@ class TransferComparison:
     absolute_rankings: dict[str, dict[str, float]]  # per target + "avg"
 
 
-def _run(
-    optimizer, target: str, space, scale: Scale, instance: str, seed: int
-) -> History:
-    server = MySQLServer(target, instance, seed=seed)
-    session = TuningSession(
-        DatabaseObjective(server, space),
-        optimizer,
-        space,
-        max_iterations=scale.n_iterations,
-        n_initial=scale.n_initial,
-        seed=seed + 5,
-    )
-    return session.run()
+def _run_all(
+    optimizers: dict, target: str, space, scale: Scale, instance: str, seed: int,
+    n_workers: int,
+) -> dict:
+    """Run every (label -> optimizer) session for one target, possibly in
+    parallel; all methods share the target's server/session seeds (the
+    paper's paired-comparison setup)."""
+    labels = list(optimizers)
+    specs = [
+        RunSpec(
+            run_index=idx,
+            workload=target,
+            instance=instance,
+            space=space,
+            optimizer=optimizer,
+            n_iterations=scale.n_iterations,
+            n_initial=scale.n_initial,
+            server_seed=seed,
+            session_seed=seed + 5,
+            tags={"workload": target, "method": str(label)},
+        )
+        for idx, (label, optimizer) in enumerate(optimizers.items())
+    ]
+    results = ParallelExecutor(n_workers=n_workers).run(specs)
+    histories: dict = {}
+    for label, result in zip(labels, results):
+        if result.history is None:
+            raise RuntimeError(
+                f"transfer run {label!r} on {target} failed: {result.error}"
+            )
+        histories[label] = result.history
+    return histories
 
 
 def transfer_comparison(
@@ -66,6 +83,7 @@ def transfer_comparison(
     instance: str = "B",
     seed: int = 17,
     pretrain_iterations: int | None = None,
+    n_workers: int = 1,
 ) -> TransferComparison:
     """Table 8: five transfer baselines against their base optimizers.
 
@@ -90,34 +108,26 @@ def transfer_comparison(
     per_target_scores: dict[str, dict[str, float]] = {}
     for t_idx, target in enumerate(TARGET_WORKLOADS):
         t_seed = seed + 100 * (t_idx + 1)
-        base_histories = {
-            "smac": _run(SMAC(space, seed=t_seed), target, space, scale, instance, t_seed),
-            "mixed_kernel_bo": _run(
-                MixedKernelBO(space, seed=t_seed), target, space, scale, instance, t_seed
+        optimizers: dict[object, Optimizer] = {
+            "smac": SMAC(space, seed=t_seed),
+            "mixed_kernel_bo": MixedKernelBO(space, seed=t_seed),
+            "ddpg": DDPG(space, seed=t_seed),
+            ("rgpe", "mixed_kernel_bo"): RGPEMixedKernelBO(space, repository, seed=t_seed),
+            ("rgpe", "smac"): RGPESMAC(space, repository, seed=t_seed),
+            ("mapping", "mixed_kernel_bo"): MappedOptimizer(
+                MixedKernelBO(space, seed=t_seed), repository
             ),
-            "ddpg": _run(DDPG(space, seed=t_seed), target, space, scale, instance, t_seed),
+            ("mapping", "smac"): MappedOptimizer(SMAC(space, seed=t_seed), repository),
+            ("fine-tune", "ddpg"): fine_tuned_ddpg(space, agent, seed=t_seed),
+        }
+        all_histories = _run_all(
+            optimizers, target, space, scale, instance, t_seed, n_workers
+        )
+        base_histories = {
+            k: h for k, h in all_histories.items() if isinstance(k, str)
         }
         transfer_histories = {
-            ("rgpe", "mixed_kernel_bo"): _run(
-                RGPEMixedKernelBO(space, repository, seed=t_seed),
-                target, space, scale, instance, t_seed,
-            ),
-            ("rgpe", "smac"): _run(
-                RGPESMAC(space, repository, seed=t_seed),
-                target, space, scale, instance, t_seed,
-            ),
-            ("mapping", "mixed_kernel_bo"): _run(
-                MappedOptimizer(MixedKernelBO(space, seed=t_seed), repository),
-                target, space, scale, instance, t_seed,
-            ),
-            ("mapping", "smac"): _run(
-                MappedOptimizer(SMAC(space, seed=t_seed), repository),
-                target, space, scale, instance, t_seed,
-            ),
-            ("fine-tune", "ddpg"): _run(
-                fine_tuned_ddpg(space, agent, seed=t_seed),
-                target, space, scale, instance, t_seed,
-            ),
+            k: h for k, h in all_histories.items() if isinstance(k, tuple)
         }
         scores: dict[str, float] = {}
         for (framework, base), history in transfer_histories.items():

@@ -8,7 +8,7 @@ best-so-far trajectories the evaluation figures plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -46,8 +46,19 @@ class History:
 
     # ------------------------------------------------------------------
     def append(self, obs: Observation) -> None:
+        """Append with a position-consistent ``iteration`` index.
+
+        Observations re-appended from another history (warm starts,
+        transfer repositories) arrive with a stale index; storing them
+        as-is would corrupt :meth:`best_score_trajectory` and
+        :meth:`iterations_to_reach`.  Such observations are copied so the
+        source history keeps its own indices intact.
+        """
+        idx = len(self._observations)
         if obs.iteration < 0:
-            obs.iteration = len(self._observations)
+            obs.iteration = idx
+        elif obs.iteration != idx:
+            obs = replace(obs, iteration=idx)
         self._observations.append(obs)
 
     def __len__(self) -> int:

@@ -1,0 +1,43 @@
+"""Parallel experiment execution.
+
+Every evaluation artifact in the reproduction boils down to a batch of
+fully independent ``(server, optimizer, session)`` runs.  This package
+fans those runs out over a process pool while keeping them bit-identical
+to serial execution:
+
+- :mod:`repro.parallel.spec` describes one run (:class:`RunSpec`) and its
+  outcome (:class:`RunResult`), and derives per-run seeds from a single
+  root seed via ``numpy.random.SeedSequence.spawn`` so the simulator's
+  noise stream, the optimizer's sampling stream, and the session's LHS
+  stream are statistically independent *and* independent of the execution
+  order.
+- :mod:`repro.parallel.executor` schedules specs onto a
+  ``ProcessPoolExecutor``; a crashed worker only fails its own run, which
+  is retried once on a freshly spawned pool after a jittered backoff.
+- :mod:`repro.parallel.telemetry` appends one JSON line per finished run
+  (suggest/eval wall-time, failure counts, simulated hours) — the raw
+  data behind the Figure 9 overhead analysis.
+"""
+
+from repro.parallel.executor import ParallelExecutor, execute_run
+from repro.parallel.spec import (
+    RegistryOptimizerFactory,
+    RunResult,
+    RunSeeds,
+    RunSpec,
+    derive_run_seeds,
+)
+from repro.parallel.telemetry import read_telemetry, telemetry_record, write_telemetry
+
+__all__ = [
+    "ParallelExecutor",
+    "RegistryOptimizerFactory",
+    "RunResult",
+    "RunSeeds",
+    "RunSpec",
+    "derive_run_seeds",
+    "execute_run",
+    "read_telemetry",
+    "telemetry_record",
+    "write_telemetry",
+]

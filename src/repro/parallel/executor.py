@@ -1,0 +1,186 @@
+"""The process-pool executor behind every experiment harness.
+
+Scheduling rules:
+
+- ``n_workers <= 1`` (or a single spec) runs everything in-process — no
+  pickling, no pool, identical results.
+- Specs that cannot be pickled (e.g. a closure-based optimizer factory)
+  are detected up front and run in-process while the rest of the batch
+  uses the pool; callers never have to care.
+- A worker exception is caught *inside* the worker and returned as a
+  failed :class:`RunResult`; a hard worker death (``os._exit``, OOM kill)
+  breaks the pool, which marks only the affected runs failed.  Failed
+  runs are retried once on a freshly spawned pool after a short jittered
+  backoff.  The surviving runs of the study are never aborted.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.parallel.spec import RunResult, RunSpec
+from repro.parallel.telemetry import write_telemetry
+
+
+class _TimedObjective:
+    """Delegating objective that accounts evaluation wall-time."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.eval_seconds = 0.0
+
+    def __call__(self, config):
+        t0 = time.perf_counter()
+        try:
+            return self.inner(config)
+        finally:
+            self.eval_seconds += time.perf_counter() - t0
+
+    def failure_fallback_score(self) -> float:
+        return self.inner.failure_fallback_score()
+
+    def default_score(self) -> float:
+        return self.inner.default_score()
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Execute one spec in the current process; never raises.
+
+    Any exception — a crashing objective, a singular GP fit, a bad
+    optimizer suggestion — is converted into a failed :class:`RunResult`
+    carrying the traceback tail, so one diverging run cannot take down a
+    whole study.
+    """
+    t0 = time.perf_counter()
+    try:
+        # Imported here so a worker only pays for what the spec needs.
+        from repro.tuning.objective import DatabaseObjective
+        from repro.tuning.session import TuningSession
+
+        objective = spec.objective
+        if objective is None:
+            from repro.dbms.server import MySQLServer
+
+            server = MySQLServer(spec.workload, spec.instance, seed=spec.server_seed)
+            objective = DatabaseObjective(server, spec.space)
+        timed = _TimedObjective(objective)
+        optimizer = spec.optimizer
+        if optimizer is None:
+            optimizer = spec.optimizer_factory(spec.space, spec.optimizer_seed)
+        session = TuningSession(
+            timed,
+            optimizer,
+            spec.space,
+            max_iterations=spec.n_iterations,
+            n_initial=spec.n_initial,
+            seed=spec.session_seed,
+            warm_start=spec.warm_start,
+        )
+        history = session.run()
+        return RunResult(
+            run_index=spec.run_index,
+            history=history,
+            wall_seconds=time.perf_counter() - t0,
+            suggest_seconds=float(sum(o.suggest_seconds for o in history)),
+            eval_seconds=timed.eval_seconds,
+            simulated_hours=session.total_simulated_hours(),
+            n_iterations=len(history),
+            n_failed_evals=sum(1 for o in history if o.failed),
+            tags=dict(spec.tags),
+        )
+    except Exception as exc:  # noqa: BLE001 — the whole point is containment
+        tb = traceback.format_exc(limit=3)
+        return RunResult(
+            run_index=spec.run_index,
+            failed=True,
+            error=f"{type(exc).__name__}: {exc}\n{tb}",
+            wall_seconds=time.perf_counter() - t0,
+            tags=dict(spec.tags),
+        )
+
+
+def _picklable(spec: RunSpec) -> bool:
+    try:
+        pickle.dumps(spec)
+        return True
+    except Exception:  # noqa: BLE001 — anything unpicklable runs inline
+        return False
+
+
+class ParallelExecutor:
+    """Runs batches of :class:`RunSpec` with retry and telemetry."""
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        max_retries: int = 1,
+        telemetry_path: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.n_workers = n_workers
+        self.max_retries = max_retries
+        self.telemetry_path = telemetry_path
+
+    # ------------------------------------------------------------------
+    def run(self, specs: list[RunSpec]) -> list[RunResult]:
+        """Execute all specs; results come back in spec order."""
+        results: dict[int, RunResult] = {}
+        pending = list(specs)
+        attempt = 0
+        while pending:
+            if attempt > 0:
+                time.sleep(self._jitter(attempt))
+            batch = self._run_batch(pending)
+            retry: list[RunSpec] = []
+            for spec, result in zip(pending, batch):
+                result.attempts = attempt + 1
+                results[id(spec)] = result
+                if result.failed and attempt < self.max_retries:
+                    retry.append(spec)
+            pending = retry
+            attempt += 1
+        ordered = [results[id(spec)] for spec in specs]
+        if self.telemetry_path is not None:
+            write_telemetry(self.telemetry_path, ordered)
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, specs: list[RunSpec]) -> list[RunResult]:
+        workers = min(self.n_workers, len(specs))
+        if workers <= 1:
+            return [execute_run(spec) for spec in specs]
+        inline = [spec for spec in specs if not _picklable(spec)]
+        inline_ids = {id(spec) for spec in inline}
+        pooled = [spec for spec in specs if id(spec) not in inline_ids]
+        outcomes: dict[int, RunResult] = {}
+        if pooled:
+            # A fresh pool per batch: a worker death in a previous attempt
+            # must not poison this one (the "jittered respawn").
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {id(spec): pool.submit(execute_run, spec) for spec in pooled}
+                for spec in pooled:
+                    try:
+                        outcomes[id(spec)] = futures[id(spec)].result()
+                    except Exception as exc:  # noqa: BLE001 — broken pool, lost worker
+                        outcomes[id(spec)] = RunResult(
+                            run_index=spec.run_index,
+                            failed=True,
+                            error=f"worker died: {type(exc).__name__}: {exc}",
+                            tags=dict(spec.tags),
+                        )
+        for spec in inline:
+            outcomes[id(spec)] = execute_run(spec)
+        return [outcomes[id(spec)] for spec in specs]
+
+    def _jitter(self, attempt: int) -> float:
+        """Deterministic short backoff before respawning a pool."""
+        rng = np.random.default_rng(0xC0FFEE + attempt)
+        return float(rng.uniform(0.05, 0.25))

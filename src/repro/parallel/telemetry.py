@@ -1,0 +1,65 @@
+"""JSONL run telemetry.
+
+One line per finished run, append-only, so a long study can be tailed
+while it executes and the Figure 9 overhead analysis can be regenerated
+from the raw records afterwards:
+
+.. code-block:: json
+
+    {"run_index": 0, "status": "ok", "attempts": 1,
+     "wall_seconds": 1.93, "suggest_seconds": 1.52, "eval_seconds": 0.33,
+     "simulated_hours": 2.98, "n_iterations": 50, "n_failed_evals": 2,
+     "tags": {"workload": "SYSBENCH", "optimizer": "smac"}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+from repro.parallel.spec import RunResult
+
+
+def telemetry_record(result: RunResult) -> dict[str, Any]:
+    """The JSON-serializable telemetry view of one run result."""
+    record: dict[str, Any] = {
+        "run_index": result.run_index,
+        "status": "failed" if result.failed else "ok",
+        "attempts": result.attempts,
+        "wall_seconds": round(result.wall_seconds, 6),
+        "suggest_seconds": round(result.suggest_seconds, 6),
+        "eval_seconds": round(result.eval_seconds, 6),
+        "simulated_hours": round(result.simulated_hours, 6),
+        "n_iterations": result.n_iterations,
+        "n_failed_evals": result.n_failed_evals,
+        "tags": result.tags,
+    }
+    if result.error is not None:
+        record["error"] = result.error.splitlines()[0]
+    return record
+
+
+def write_telemetry(path: str, results: Iterable[RunResult]) -> None:
+    """Append one JSON line per result to ``path``.
+
+    Parent directories are created on demand so a mistyped path does
+    not throw away the telemetry of an hours-long study at the end.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        for result in results:
+            fh.write(json.dumps(telemetry_record(result)) + "\n")
+
+
+def read_telemetry(path: str) -> list[dict[str, Any]]:
+    """Read back all records from a telemetry file."""
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -46,7 +46,12 @@ class TuningSession:
         self.optimizer = optimizer
         self.space = space
         self.max_iterations = max_iterations
-        self.n_initial = n_initial if optimizer.uses_lhs_init else 0
+        # Warm-start observations count against the LHS budget: a session
+        # resumed from len(warm_start) prior observations must not replay
+        # the full initial design on top of them (transfer studies would
+        # otherwise double-initialize).
+        n_warm = len(warm_start) if warm_start else 0
+        self.n_initial = max(0, n_initial - n_warm) if optimizer.uses_lhs_init else 0
         self.seed = seed
         self.history = History(space)
         if warm_start:

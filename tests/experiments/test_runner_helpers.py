@@ -5,12 +5,15 @@ import pytest
 
 from repro.dbms.catalog import mysql_knob_space
 from repro.experiments.runner import (
+    build_session_specs,
+    count_failed_runs,
     median_best_score,
     median_improvement,
     run_sessions,
 )
 from repro.optimizers import RandomSearch
 from repro.optimizers.base import History, Observation
+from repro.parallel import RegistryOptimizerFactory
 
 
 @pytest.fixture(scope="module")
@@ -64,9 +67,49 @@ class TestRunSessions:
         improvement = median_improvement(histories, "JOB")
         assert np.isfinite(improvement)
 
+    def test_run0_seed_streams_are_independent(self, small_space):
+        # The serial runner used to give run 0's server and optimizer the
+        # exact same seed, correlating noise with sampling.
+        specs = build_session_specs(
+            "Voter",
+            small_space,
+            RegistryOptimizerFactory("random"),
+            n_runs=3,
+            n_iterations=5,
+        )
+        for spec in specs:
+            assert len({spec.server_seed, spec.optimizer_seed, spec.session_seed}) == 3
+        assert len({s.server_seed for s in specs}) == 3
+
     def test_median_best_score_handles_empty(self, small_space):
         empty = History(small_space)
-        assert median_best_score([empty]) == float("-inf")
+        with pytest.warns(RuntimeWarning, match="all 1 runs failed"):
+            assert np.isnan(median_best_score([empty]))
+
+    def test_failed_runs_skipped_not_minus_inf(self, small_space):
+        ok = History(small_space)
+        ok.append(
+            Observation(
+                config=small_space.default_configuration(), objective=7.0, score=7.0
+            )
+        )
+        dead = History(small_space)
+        dead.append(
+            Observation(
+                config=small_space.default_configuration(),
+                objective=float("nan"),
+                score=float("nan"),
+                failed=True,
+            )
+        )
+        # the failed run no longer injects -inf and drags the median down
+        assert median_best_score([ok, dead]) == 7.0
+        assert count_failed_runs([ok, dead]) == 1
+
+    def test_median_improvement_all_failed_is_nan(self, small_space):
+        dead = History(small_space)
+        with pytest.warns(RuntimeWarning, match="failed"):
+            assert np.isnan(median_improvement([dead], "SYSBENCH"))
 
     def test_median_best_score(self, small_space):
         histories = []

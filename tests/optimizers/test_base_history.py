@@ -27,6 +27,21 @@ class TestHistory:
         assert [o.iteration for o in h] == [0, 1]
         assert len(h) == 2
 
+    def test_append_reindexes_stale_iterations(self, tiny_space):
+        # Observations re-appended from a source history (warm starts)
+        # must not keep their old indices.
+        source = History(tiny_space)
+        for score in (1.0, 2.0, 3.0):
+            source.append(_obs(tiny_space, score))
+        target = History(tiny_space)
+        target.append(source[2])  # iteration 2 in the source
+        target.append(source[0])
+        assert [o.iteration for o in target] == [0, 1]
+        # the copies keep trajectories consistent without mutating the source
+        assert [o.iteration for o in source] == [0, 1, 2]
+        assert target.best_score_trajectory().tolist() == [3.0, 3.0]
+        assert target.iterations_to_reach(3.0) == 1
+
     def test_best_ignores_failures(self, tiny_space):
         h = History(tiny_space)
         h.append(_obs(tiny_space, 100.0, failed=True))

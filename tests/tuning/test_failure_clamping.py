@@ -1,0 +1,108 @@
+"""Failure-clamping coverage (paper §4.1).
+
+A failed stress test is scored as the worst success seen so far; before
+any success exists, the objective's ``failure_fallback_score`` applies —
+a third of the default throughput for ``max`` objectives, three times
+the default latency for ``min`` objectives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dbms.server import MySQLServer
+from repro.optimizers import RandomSearch
+from repro.optimizers.base import Observation
+from repro.tuning import DatabaseObjective, TuningSession
+
+
+def _failed_obs(space) -> Observation:
+    return Observation(
+        config=space.default_configuration(),
+        objective=float("nan"),
+        score=float("nan"),
+        failed=True,
+    )
+
+
+def _ok_obs(space, score: float) -> Observation:
+    return Observation(
+        config=space.default_configuration(), objective=score, score=score
+    )
+
+
+def _session(space, objective) -> TuningSession:
+    return TuningSession(
+        objective, RandomSearch(space, seed=0), space, max_iterations=5, seed=0
+    )
+
+
+class TestClampFailure:
+    def test_before_first_success_uses_fallback(self, sysbench_space, sysbench_server):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        session = _session(sysbench_space, obj)
+        obs = _failed_obs(sysbench_space)
+        session._clamp_failure(obs)
+        assert obs.score == obj.failure_fallback_score()
+
+    def test_after_first_success_uses_worst_seen(self, sysbench_space, sysbench_server):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        session = _session(sysbench_space, obj)
+        session.history.append(_ok_obs(sysbench_space, 120.0))
+        session.history.append(_ok_obs(sysbench_space, 80.0))
+        obs = _failed_obs(sysbench_space)
+        session._clamp_failure(obs)
+        assert obs.score == 80.0
+
+    def test_clamp_ignores_earlier_failures(self, sysbench_space, sysbench_server):
+        # A clamped failure must not itself become the "worst seen".
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        session = _session(sysbench_space, obj)
+        first = _failed_obs(sysbench_space)
+        session._record(first, 0.0)
+        assert first.score == obj.failure_fallback_score()
+        session.history.append(_ok_obs(sysbench_space, 200.0))
+        later = _failed_obs(sysbench_space)
+        session._clamp_failure(later)
+        assert later.score == 200.0  # worst *success*, not the earlier clamp
+
+
+class TestFallbackDirections:
+    def test_max_objective_fallback_is_third_of_default(
+        self, sysbench_space, sysbench_server
+    ):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        assert obj.direction == "max"
+        default = sysbench_server.default_objective()
+        assert obj.failure_fallback_score() == pytest.approx(default / 3.0)
+        assert obj.failure_fallback_score() < obj.default_score()
+
+    def test_min_objective_fallback_is_triple_default_latency(
+        self, job_server, mysql_space
+    ):
+        obj = DatabaseObjective(job_server, mysql_space)
+        assert obj.direction == "min"
+        default = job_server.default_objective()
+        # latency is negated onto the maximization scale
+        assert obj.failure_fallback_score() == pytest.approx(-(default * 3.0))
+        assert obj.failure_fallback_score() < obj.default_score()
+
+    def test_min_direction_session_clamps_finite(self, mysql_space):
+        server = MySQLServer("JOB", "B", seed=3)
+        space = mysql_space
+        obj = DatabaseObjective(server, space)
+        session = TuningSession(
+            obj, RandomSearch(space, seed=3), space, max_iterations=15, seed=3
+        )
+        history = session.run()
+        assert np.isfinite(history.scores()).all()
+        for obs in history:
+            if obs.failed:
+                prior = [
+                    o.score
+                    for o in history
+                    if not o.failed and o.iteration < obs.iteration
+                ]
+                expected = min(prior) if prior else obj.failure_fallback_score()
+                assert obs.score == expected

@@ -139,6 +139,52 @@ class TestTuningSession:
         history = session.run()
         assert len(history) == 5
 
+    def test_warm_start_shrinks_lhs_budget(self, sysbench_space, sysbench_server):
+        # A session warm-started with k observations must not replay the
+        # full LHS design on top of them.
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        warm = [obj(sysbench_space.default_configuration()) for _ in range(6)]
+        session = TuningSession(
+            obj, VanillaBO(sysbench_space, seed=0), sysbench_space,
+            max_iterations=10, n_initial=10, seed=0, warm_start=warm,
+        )
+        assert session.n_initial == 4
+        history = session.run()
+        # 6 warm + 10 evaluated; only iterations 6..9 are LHS (no suggest
+        # overhead), the rest go through the optimizer
+        assert len(history) == 16
+        suggested = [o for o in history if o.suggest_seconds > 0.0]
+        assert len(suggested) == 6
+
+    def test_warm_start_larger_than_lhs_budget_floors_at_zero(
+        self, sysbench_space, sysbench_server
+    ):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        warm = [obj(sysbench_space.default_configuration()) for _ in range(12)]
+        session = TuningSession(
+            obj, VanillaBO(sysbench_space, seed=0), sysbench_space,
+            max_iterations=3, n_initial=10, seed=0, warm_start=warm,
+        )
+        assert session.n_initial == 0
+
+    def test_warm_start_reindexes_without_mutating_source(
+        self, sysbench_space, sysbench_server
+    ):
+        obj = DatabaseObjective(sysbench_server, sysbench_space)
+        source = History(sysbench_space)
+        for _ in range(3):
+            source.append(obj(sysbench_space.default_configuration()))
+        warm = list(source)[1:]  # iterations 1, 2 in the source task
+        session = TuningSession(
+            obj, RandomSearch(sysbench_space, seed=0), sysbench_space,
+            max_iterations=2, n_initial=0, seed=0, warm_start=warm,
+        )
+        history = session.run()
+        # re-appended observations are renumbered from 0 ...
+        assert [o.iteration for o in history] == [0, 1, 2, 3]
+        # ... and the source history keeps its own indices
+        assert [o.iteration for o in source] == [0, 1, 2]
+
     def test_simulated_hours(self, sysbench_space, sysbench_server):
         obj = DatabaseObjective(sysbench_server, sysbench_space)
         session = TuningSession(
