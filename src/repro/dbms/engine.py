@@ -97,8 +97,9 @@ class EngineResult:
 class PerformanceModel:
     """Maps configurations to performance for one hardware instance."""
 
-    def __init__(self, instance: HardwareInstance) -> None:
+    def __init__(self, instance: HardwareInstance, seed: int | None = None) -> None:
         self.instance = instance
+        self.seed = seed
         self._baseline_cache: dict[tuple[str, str], EngineResult] = {}
 
     # ------------------------------------------------------------------
@@ -132,7 +133,7 @@ class PerformanceModel:
             objective = workload.base_throughput * (raw / baseline)
             sigma = NOISE_SIGMA_TPS
         if noise:
-            rng = np.random.default_rng() if rng is None else rng
+            rng = np.random.default_rng(self.seed) if rng is None else rng
             objective *= float(np.exp(rng.normal(0.0, sigma)))
             if rng.random() < 0.04:
                 # Cloud-instance fluctuation: occasional degraded interval.

@@ -69,7 +69,7 @@ class MySQLServer:
         self.instance = instance
         self.noise = noise
         self._rng = np.random.default_rng(seed)
-        self.model = PerformanceModel(instance)
+        self.model = PerformanceModel(instance, seed=seed)
         self._full_space: ConfigurationSpace | None = None
         self.total_simulated_seconds = 0.0
         self.n_evaluations = 0

@@ -1,0 +1,59 @@
+"""repro.lint — AST-based determinism & contract linter for this repository.
+
+The repository's headline guarantee — bit-identical serial/parallel
+experiment histories — only holds while every random number consumed under
+``src/repro`` is threaded from the ``SeedSequence`` tree rather than pulled
+from global state.  This package turns that convention (and a handful of
+neighbouring reproducibility contracts) into machine-checked rules:
+
+========  =============================================================
+Rule      What it catches
+========  =============================================================
+R001      Seedless RNG: ``np.random.default_rng()`` with no argument and
+          any module-level-state call (``random.random()``,
+          ``np.random.rand()``, ...).
+R002      Shadow RNG streams: a generator created from nothing (or a
+          hard-coded constant) inside a function that already receives
+          an ``rng``/``seed`` parameter.
+R003      Iteration over ``set(...)`` / ``.keys()`` feeding ordered
+          output (the fig6 bug class).
+R004      Optimizer/estimator contract: ``suggest``/``observe``
+          signatures, ``seed`` parameters on randomized components.
+R005      Mutable default arguments.
+R006      Bare ``except:`` and ``except Exception: pass`` handlers that
+          swallow evaluation failures.
+R007      Wall-clock reads (``time.time()``, ``datetime.now()``) in
+          result-producing code.
+R008      Float ``==``/``!=`` against non-sentinel literals.
+========  =============================================================
+
+Findings are suppressed inline with ``# reprolint: disable=RXXX <reason>``;
+the reason string is mandatory (a reason-less suppression is itself reported
+as R000).  Configuration lives in ``[tool.reprolint]`` in ``pyproject.toml``.
+
+Usage::
+
+    python -m repro.lint src tests --format json
+
+The framework is stdlib-only (``ast`` + ``argparse``); see
+``docs/LINTING.md`` for the full rule catalog and suppression policy.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import FileReport, Linter, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.registry import RULES, Rule, rule_catalog
+
+__all__ = [
+    "Finding",
+    "FileReport",
+    "LintConfig",
+    "Linter",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "load_config",
+    "rule_catalog",
+]

@@ -1,0 +1,220 @@
+"""``[tool.reprolint]`` configuration loading.
+
+Configuration lives in ``pyproject.toml``::
+
+    [tool.reprolint]
+    select = ["R001", "R003"]      # default: all registered rules
+    ignore = ["R007"]
+    exclude = ["examples", "benchmarks", "tests/lint/fixtures"]
+
+    [tool.reprolint.per-path-ignores]
+    "tests" = ["R008"]
+
+``exclude`` entries are matched against config-root-relative POSIX paths as
+either directory prefixes or ``fnmatch`` globs.  ``per-path-ignores`` maps a
+path prefix/glob to rule ids disabled beneath it, so examples/benchmarks can
+opt out of strict rules without inline suppression noise.
+
+Python 3.11+ parses the file with stdlib ``tomllib``; on 3.10 a minimal
+fallback parser handles the subset of TOML this section uses (string keys,
+string values, arrays of strings).  No third-party dependency either way.
+"""
+
+from __future__ import annotations
+
+import ast as _ast
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path, PurePosixPath
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on Python 3.10
+    tomllib = None  # type: ignore[assignment]
+
+_SECTION = "reprolint"
+
+
+@dataclass
+class LintConfig:
+    """Resolved linter configuration."""
+
+    #: Rule ids to run; empty means "all registered rules".
+    select: list[str] = field(default_factory=list)
+    #: Rule ids disabled everywhere.
+    ignore: list[str] = field(default_factory=list)
+    #: Path prefixes/globs excluded from linting entirely.
+    exclude: list[str] = field(default_factory=list)
+    #: Path prefix/glob -> rule ids disabled beneath it.
+    per_path_ignores: dict[str, list[str]] = field(default_factory=dict)
+    #: Directory paths are resolved against (the pyproject.toml directory).
+    root: Path = field(default_factory=Path.cwd)
+
+    # ------------------------------------------------------------------
+    def _relative(self, path: Path) -> str:
+        try:
+            rel = path.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            rel = path
+        return PurePosixPath(rel).as_posix()
+
+    @staticmethod
+    def _matches(rel: str, pattern: str) -> bool:
+        pattern = pattern.rstrip("/")
+        return (
+            rel == pattern
+            or rel.startswith(pattern + "/")
+            or fnmatch(rel, pattern)
+            or fnmatch(rel, pattern + "/*")
+        )
+
+    def is_excluded(self, path: Path) -> bool:
+        rel = self._relative(path)
+        return any(self._matches(rel, pat) for pat in self.exclude)
+
+    def rules_for(self, path: Path, registered: list[str]) -> list[str]:
+        """Effective rule ids for one file after select/ignore/per-path."""
+        active = [r for r in registered if not self.select or r in self.select]
+        active = [r for r in active if r not in self.ignore]
+        rel = self._relative(path)
+        for pattern, ignored in self.per_path_ignores.items():
+            if self._matches(rel, pattern):
+                active = [r for r in active if r not in ignored]
+        return active
+
+    def merged_with_cli(
+        self, select: list[str] | None, ignore: list[str] | None
+    ) -> "LintConfig":
+        """CLI --select/--ignore override/extend the file configuration."""
+        return LintConfig(
+            select=list(select) if select else list(self.select),
+            ignore=sorted(set(self.ignore) | set(ignore or [])),
+            exclude=list(self.exclude),
+            per_path_ignores=dict(self.per_path_ignores),
+            root=self.root,
+        )
+
+
+# ----------------------------------------------------------------------
+# pyproject parsing
+# ----------------------------------------------------------------------
+_SECTION_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_KEY_RE = re.compile(r"^(?P<key>[A-Za-z0-9_.\-]+|\"[^\"]+\")\s*=\s*(?P<value>.+)$")
+
+
+def _parse_toml_minimal(text: str) -> dict[str, object]:
+    """Tiny fallback TOML reader for the ``[tool.reprolint]`` subset.
+
+    Handles ``key = value`` lines where the value is a string, an array of
+    strings (possibly spanning lines), a number, or a boolean.  Not a
+    general TOML parser — just enough for this config section on
+    interpreters without ``tomllib``.
+    """
+    data: dict[str, object] = {}
+    current: dict[str, object] = data
+    pending_key: str | None = None
+    pending_value = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if pending_key is not None:
+            pending_value += " " + line
+            if _balanced(pending_value):
+                current[pending_key] = _parse_value(pending_value)
+                pending_key = None
+                pending_value = ""
+            continue
+        if not line or line.startswith("#"):
+            continue
+        section = _SECTION_RE.match(line)
+        if section:
+            current = data
+            for part in _split_section(section.group("name")):
+                current = current.setdefault(part, {})  # type: ignore[assignment]
+            continue
+        kv = _KEY_RE.match(line)
+        if not kv:
+            continue
+        key = kv.group("key").strip('"')
+        value = kv.group("value").strip()
+        if _balanced(value):
+            current[key] = _parse_value(value)
+        else:
+            pending_key, pending_value = key, value
+    return data
+
+
+def _split_section(name: str) -> list[str]:
+    return [part.strip().strip('"') for part in name.split(".")]
+
+
+def _balanced(value: str) -> bool:
+    return value.count("[") == value.count("]")
+
+
+def _parse_value(value: str) -> object:
+    value = value.split("#", 1)[0].strip() if not value.startswith(('"', "'")) else value.strip()
+    lowered = value.lower()
+    if lowered in {"true", "false"}:
+        return lowered == "true"
+    try:
+        return _ast.literal_eval(value)
+    except (ValueError, SyntaxError):
+        return value.strip('"')
+
+
+def _load_toml(path: Path) -> dict[str, object]:
+    text = path.read_text(encoding="utf-8")
+    if tomllib is not None:
+        return tomllib.loads(text)
+    return _parse_toml_minimal(text)
+
+
+def _as_str_list(value: object, what: str) -> list[str]:
+    if value is None:
+        return []
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ValueError(f"[tool.reprolint] {what} must be an array of strings")
+    return list(value)
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(path: Path | None = None, start: Path | None = None) -> LintConfig:
+    """Load configuration from an explicit path or by pyproject discovery.
+
+    Returns a default (empty) config when no pyproject or no
+    ``[tool.reprolint]`` section exists.
+    """
+    pyproject = path if path is not None else find_pyproject(start or Path.cwd())
+    if pyproject is None or not Path(pyproject).is_file():
+        return LintConfig()
+    data = _load_toml(Path(pyproject))
+    tool = data.get("tool")
+    section = tool.get(_SECTION) if isinstance(tool, dict) else None
+    if not isinstance(section, dict):
+        return LintConfig(root=Path(pyproject).parent)
+    per_path_raw = section.get("per-path-ignores", section.get("per_path_ignores", {}))
+    if not isinstance(per_path_raw, dict):
+        raise ValueError("[tool.reprolint] per-path-ignores must be a table")
+    per_path = {
+        str(key): _as_str_list(value, f'per-path-ignores."{key}"')
+        for key, value in per_path_raw.items()
+    }
+    return LintConfig(
+        select=_as_str_list(section.get("select"), "select"),
+        ignore=_as_str_list(section.get("ignore"), "ignore"),
+        exclude=_as_str_list(section.get("exclude"), "exclude"),
+        per_path_ignores=per_path,
+        root=Path(pyproject).parent,
+    )

@@ -1,0 +1,97 @@
+"""Per-file analysis context: parsed AST, import alias map, name resolution.
+
+Rules operate on a :class:`FileContext` rather than a bare ``ast.Module`` so
+they can resolve local names (``np``, ``default_rng``) back to canonical
+dotted paths (``numpy.random.default_rng``) regardless of how the module
+spelled its imports.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted path they were imported as.
+
+    ``import numpy as np``                 -> ``{"np": "numpy"}``
+    ``from numpy import random as npr``    -> ``{"npr": "numpy.random"}``
+    ``from numpy.random import default_rng`` ->
+    ``{"default_rng": "numpy.random.default_rng"}``
+
+    Only module-level and function-level ``import`` statements are
+    considered; attribute reassignments are out of scope for a linter.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``np.random.default_rng`` -> ``["np", "random", "default_rng"]``.
+
+    Returns ``None`` for expressions that are not a plain dotted name
+    (calls, subscripts, literals, ...).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyze one file."""
+
+    path: str
+    lines: list[str] = field(default_factory=list)
+    tree: ast.Module = field(default_factory=ast.Module)
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            lines=source.splitlines(),
+            tree=tree,
+            aliases=_collect_aliases(tree),
+        )
+
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a name/attribute expression, if its
+        root is an imported module or object; ``None`` otherwise.
+
+        ``self.rng.normal`` resolves to ``None`` (root is a local name),
+        so instance-level generator calls are never mistaken for
+        module-level state.
+        """
+        chain = attribute_chain(node)
+        if chain is None:
+            return None
+        root, rest = chain[0], chain[1:]
+        target = self.aliases.get(root)
+        if target is None:
+            return None
+        return ".".join([target, *rest])
+
+    def posix_path(self) -> str:
+        return PurePosixPath(self.path).as_posix()

@@ -1,0 +1,75 @@
+"""Rule base class and the global rule registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Type
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """One lint rule: an id, a human summary, and a per-file check.
+
+    Subclasses set the class attributes and implement :meth:`check`, which
+    yields :class:`Finding` objects for one parsed file.  Rules must be
+    stateless across files — the engine instantiates each rule once per
+    run and calls ``check`` per file.
+    """
+
+    #: Stable identifier, ``R`` + three digits (used in suppressions/config).
+    id: str = ""
+    #: Short kebab-case name shown in ``--list-rules``.
+    name: str = ""
+    #: One-line rationale shown in ``--list-rules`` and docs.
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(self, ctx: FileContext, node, message: str) -> Finding:
+        """Build a finding anchored at an AST node."""
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: Registry of all known rules, keyed by rule id.
+RULES: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} must define `id` and `name`")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls
+    return cls
+
+
+def rule_catalog() -> list[tuple[str, str, str]]:
+    """``(id, name, summary)`` triples, sorted by rule id."""
+    return sorted((rid, r.name, r.summary) for rid, r in RULES.items())
+
+
+def walk_with_parents(tree) -> Iterable[tuple[object, object | None]]:
+    """Yield ``(node, parent)`` pairs in document order."""
+    import ast
+
+    stack: list[tuple[ast.AST, ast.AST | None]] = [(tree, None)]
+    while stack:
+        node, parent = stack.pop()
+        yield node, parent
+        children = list(ast.iter_child_nodes(node))
+        children.reverse()
+        for child in children:
+            stack.append((child, node))
+
+
+Checker = Callable[[FileContext], Iterable[Finding]]

@@ -1,0 +1,71 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.engine import FileReport
+from repro.lint.findings import Finding
+
+#: Schema version of the JSON report (bump on breaking field changes).
+JSON_SCHEMA_VERSION = 1
+
+
+def _all_findings(reports: Iterable[FileReport]) -> list[Finding]:
+    findings = [f for report in reports for f in report.findings]
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def render_text(reports: list[FileReport]) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per line
+    plus a summary footer."""
+    findings = _all_findings(reports)
+    n_suppressed = sum(len(r.suppressed) for r in reports)
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}" for f in findings
+    ]
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append("")
+        lines.append(
+            f"Found {len(findings)} {noun} in {len(reports)} files checked "
+            f"({n_suppressed} suppressed)."
+        )
+    else:
+        lines.append(
+            f"Clean: {len(reports)} files checked, 0 findings "
+            f"({n_suppressed} suppressed)."
+        )
+    return "\n".join(lines)
+
+
+def render_json(reports: list[FileReport]) -> str:
+    """Machine-readable report with a stable schema.
+
+    Top-level keys: ``version``, ``files_checked``, ``counts`` (total,
+    suppressed, per-rule breakdown), ``findings`` (list of objects with
+    ``rule``/``path``/``line``/``col``/``message``).
+    """
+    findings = _all_findings(reports)
+    per_rule: dict[str, int] = {}
+    for finding in findings:
+        per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": len(reports),
+        "counts": {
+            "total": len(findings),
+            "suppressed": sum(len(r.suppressed) for r in reports),
+            "by_rule": dict(sorted(per_rule.items())),
+        },
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+REPORTERS = {
+    "text": render_text,
+    "json": render_json,
+}

@@ -163,10 +163,16 @@ class GaussianProcessRegressor:
     def sample_posterior(
         self, X: np.ndarray, n_samples: int = 1, rng: np.random.Generator | None = None
     ) -> np.ndarray:
-        """Draw joint posterior samples at test points, shape ``(s, n)``."""
+        """Draw joint posterior samples at test points, shape ``(s, n)``.
+
+        Without an explicit ``rng`` the draw is deterministic in
+        ``self.seed``: two calls on the same fitted GP return identical
+        samples.  Callers that want fresh draws per call must thread their
+        own generator.
+        """
         if self._X is None or self._chol is None or self._alpha is None:
             raise RuntimeError("GP is not fitted")
-        rng = np.random.default_rng() if rng is None else rng
+        rng = np.random.default_rng(self.seed) if rng is None else rng
         X = np.atleast_2d(np.asarray(X, dtype=float))
         K_star = self.kernel(X, self._X)
         mean = K_star @ self._alpha

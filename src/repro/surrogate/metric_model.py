@@ -32,9 +32,11 @@ class MetricSurrogate:
         self,
         space: ConfigurationSpace,
         models: dict[str, RandomForestRegressor],
+        seed: int | None = None,
     ) -> None:
         self.space = space
         self.models = models
+        self.seed = seed
 
     @classmethod
     def fit(
@@ -63,7 +65,7 @@ class MetricSurrogate:
             )
             model.fit(X, y)
             models[name] = model
-        return cls(space, models)
+        return cls(space, models, seed=seed)
 
     def predict(self, config: Mapping[str, Any]) -> dict[str, float]:
         """Predicted metric dict for one configuration."""

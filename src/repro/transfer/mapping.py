@@ -27,8 +27,9 @@ class MappedOptimizer(Optimizer):
         base: Optimizer,
         repository: TransferRepository,
         remap_every: int = 10,
+        seed: int | None = None,
     ) -> None:
-        super().__init__(base.space, base.seed)
+        super().__init__(base.space, base.seed if seed is None else seed)
         self.name = f"mapping({base.name})"
         self.base = base
         self.repository = repository

@@ -1,0 +1,28 @@
+"""True negatives for R001: seeded/threaded RNG use."""
+
+import random
+
+import numpy as np
+
+
+def seeded_default_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def threaded_generator(rng: np.random.Generator):
+    return rng.normal(0.0, 1.0)
+
+
+def instance_rng_call(self_like):
+    # attribute-rooted calls are never module-level state
+    return self_like.rng.random()
+
+
+def spawned_from_tree(seed):
+    ss = np.random.SeedSequence(seed)
+    children = ss.spawn(2)
+    return [np.random.default_rng(c) for c in children]
+
+
+def owned_stdlib_stream(seed):
+    return random.Random(seed).random()

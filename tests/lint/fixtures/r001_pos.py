@@ -1,0 +1,31 @@
+"""True positives for R001: seedless / global-state RNG."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seedless_default_rng():
+    return np.random.default_rng()  # finding: no seed
+
+
+def seedless_from_import():
+    return default_rng()  # finding: no seed via from-import
+
+
+def legacy_global_state(n):
+    np.random.seed(0)  # finding: global state
+    return np.random.rand(n)  # finding: global state
+
+
+def stdlib_random():
+    return random.random()  # finding: stdlib global state
+
+
+def stdlib_choice(items):
+    return random.choice(items)  # finding: stdlib global state
+
+
+def seedless_random_state():
+    return np.random.RandomState()  # finding: seedless legacy constructor

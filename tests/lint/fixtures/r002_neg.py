@@ -1,0 +1,21 @@
+"""True negatives for R002: generators derived from the provided state."""
+
+import numpy as np
+
+
+def derives_from_seed_param(x, seed=None):
+    rng = np.random.default_rng(seed)
+    return x + rng.normal()
+
+
+def fallback_from_attribute(self_like, rng=None):
+    rng = np.random.default_rng(self_like.seed) if rng is None else rng
+    return rng.normal()
+
+
+def no_governing_param(x):
+    # function receives neither rng nor seed: R002 does not apply
+    # (R001 would flag a *seedless* call; this one is constant-seeded,
+    # which is reproducible when there is nothing to derive from).
+    rng = np.random.default_rng(0)
+    return x + rng.normal()

@@ -1,0 +1,19 @@
+"""True positives for R002: shadow RNG streams."""
+
+import numpy as np
+
+
+def constant_seed_with_rng_param(x, rng):
+    shadow = np.random.default_rng(42)  # finding: ignores provided rng
+    return x + shadow.normal() + rng.normal()
+
+
+def constant_seed_with_seed_param(x, seed=None):
+    shadow = np.random.default_rng(1234)  # finding: ignores provided seed
+    return x + shadow.normal()
+
+
+class Model:
+    def fit(self, X, seed=None):
+        rng = np.random.RandomState(7)  # finding: ignores provided seed
+        return rng.rand(len(X))

@@ -1,0 +1,24 @@
+"""True negatives for R003: explicit ordering."""
+
+
+def sorted_set(items):
+    return [x for x in sorted(set(items))]
+
+
+def sorted_keys(mapping):
+    return list(sorted(mapping.keys()))
+
+
+def iterate_mapping_directly(mapping):
+    return [mapping[key] for key in mapping]
+
+
+def membership_is_fine(items, needle):
+    return needle in set(items)
+
+
+def iterate_list(items):
+    total = 0.0
+    for item in items:
+        total += item
+    return total

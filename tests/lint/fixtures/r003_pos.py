@@ -1,0 +1,27 @@
+"""True positives for R003: unordered iteration feeding ordered output."""
+
+
+def iterate_set_call(items):
+    out = []
+    for item in set(items):  # finding: set iteration
+        out.append(item)
+    return out
+
+
+def iterate_set_literal():
+    return [x for x in {3, 1, 2}]  # finding: set literal iteration
+
+
+def materialize_set(items):
+    return list(set(items))  # finding: hash-dependent order
+
+
+def enumerate_set(items):
+    return [(i, x) for i, x in enumerate(set(items))]  # finding
+
+
+def iterate_keys(mapping):
+    out = []
+    for key in mapping.keys():  # finding: implicit ordering contract
+        out.append(key)
+    return out

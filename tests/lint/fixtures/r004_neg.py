@@ -1,0 +1,48 @@
+"""True negatives for R004: conforming optimizers and estimators."""
+
+import numpy as np
+
+
+class Optimizer:
+    def __init__(self, space, seed=None):
+        self.space = space
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+
+class GoodOptimizer(Optimizer):
+    def __init__(self, space, seed=None, population=8):
+        super().__init__(space, seed)
+        self.population = population
+
+    def suggest(self, history):
+        return history
+
+    def observe(self, observation):
+        return observation
+
+
+class TransitiveOptimizer(GoodOptimizer):
+    def suggest(self, history):
+        return history
+
+
+class SeededEstimator:
+    def __init__(self, n_trees, seed=None):
+        self.n_trees = n_trees
+        self.seed = seed
+
+    def fit(self, X, y):
+        rng = np.random.default_rng(self.seed)
+        del y
+        return rng.permutation(len(X))
+
+
+class DeterministicEstimator:
+    """No randomness anywhere: the seed requirement does not apply."""
+
+    def __init__(self, alpha):
+        self.alpha = alpha
+
+    def fit(self, X, y):
+        return np.asarray(X) * self.alpha + np.mean(y)

@@ -1,0 +1,36 @@
+"""True positives for R004: optimizer/estimator contract violations."""
+
+import numpy as np
+
+
+class Optimizer:
+    def __init__(self, space, seed=None):
+        self.space = space
+        self.seed = seed
+
+
+class BadSignatureOptimizer(Optimizer):
+    def suggest(self, hist):  # finding: second param must be `history`
+        return hist
+
+    def observe(self, obs):  # finding: second param must be `observation`
+        return obs
+
+
+class NoSeedOptimizer(Optimizer):
+    def __init__(self, space):  # finding: must accept `seed`
+        super().__init__(space)
+
+    def suggest(self, history):
+        return history
+
+
+class SeedlessEstimator:
+    """Randomized estimator without a seed attribute."""
+
+    def __init__(self, n_trees):  # finding: no seed param, no self.seed
+        self.n_trees = n_trees
+
+    def fit(self, X, y, rng=None):
+        del y
+        return np.asarray(X)

@@ -1,0 +1,14 @@
+"""True negatives for R005: immutable or None defaults."""
+
+
+def none_default(values=None):
+    values = [] if values is None else values
+    return values
+
+
+def tuple_default(values=()):
+    return list(values)
+
+
+def scalar_defaults(n=10, scale=1.0, label="run", flag=False):
+    return (n, scale, label, flag)

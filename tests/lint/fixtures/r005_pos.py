@@ -1,0 +1,18 @@
+"""True positives for R005: mutable default arguments."""
+
+
+def list_default(values=[]):  # finding
+    values.append(1)
+    return values
+
+
+def dict_default(options={}):  # finding
+    return options
+
+
+def set_call_default(seen=set()):  # finding
+    return seen
+
+
+def kwonly_mutable(*, acc=list()):  # finding
+    return acc

@@ -1,0 +1,24 @@
+"""True negatives for R006: failures are recorded or contained narrowly."""
+
+
+def narrow_handler(fn):
+    try:
+        return fn()
+    except ValueError:
+        return float("nan")
+
+
+def records_failure(fn, log):
+    try:
+        return fn()
+    except Exception as exc:
+        log.append(str(exc))
+        return None
+
+
+def narrow_pass_is_fine(fn):
+    try:
+        return fn()
+    except KeyError:
+        pass
+    return None

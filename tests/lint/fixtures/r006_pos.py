@@ -1,0 +1,29 @@
+"""True positives for R006: swallowed exceptions."""
+
+
+def bare_except(fn):
+    try:
+        return fn()
+    except:  # finding: bare except
+        return None
+
+
+def swallow_exception(fn):
+    try:
+        return fn()
+    except Exception:  # finding: silent pass
+        pass
+
+
+def swallow_base_exception(fn):
+    try:
+        return fn()
+    except BaseException:  # finding: silent ellipsis
+        ...
+
+
+def swallow_tuple(fn):
+    try:
+        return fn()
+    except (ValueError, Exception):  # finding: Exception in tuple, noop body
+        pass

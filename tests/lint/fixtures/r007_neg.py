@@ -1,0 +1,17 @@
+"""True negatives for R007: monotonic durations and injected timestamps."""
+
+import time
+
+
+def measured_duration(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def injected_timestamp(value, timestamp):
+    return {"value": value, "ts": timestamp}
+
+
+def monotonic_deadline(budget_s):
+    return time.monotonic() + budget_s

@@ -1,0 +1,20 @@
+"""True positives for R007: wall-clock reads in result-producing code."""
+
+import time
+from datetime import date, datetime
+
+
+def stamp_result(value):
+    return {"value": value, "ts": time.time()}  # finding
+
+
+def label_run():
+    return datetime.now().isoformat()  # finding
+
+
+def today_tag():
+    return str(date.today())  # finding
+
+
+def ns_timestamp():
+    return time.time_ns()  # finding

@@ -1,0 +1,27 @@
+"""True negatives for R008: sentinel checks, tolerances, non-float equality."""
+
+import math
+
+
+def zero_guard(std):
+    return std if std != 0.0 else 1.0
+
+
+def unit_sentinels(x):
+    return x == 1.0 or x == -1.0
+
+
+def tolerance(x, y):
+    return math.isclose(x, y, rel_tol=1e-9)
+
+
+def int_equality(n):
+    return n == 3
+
+
+def ordering_is_fine(x):
+    return x < 0.5 or x >= 2.5
+
+
+def name_to_name(a, b):
+    return a == b

@@ -1,0 +1,17 @@
+"""True positives for R008: exact float comparison against non-sentinels."""
+
+
+def compare_fraction(x):
+    return x == 0.5  # finding
+
+
+def not_equal_pi(x):
+    return x != 3.14159  # finding
+
+
+def negative_literal(x):
+    return x == -2.5  # finding
+
+
+def chained(x, y):
+    return 0.1 == x == y  # finding (left literal)

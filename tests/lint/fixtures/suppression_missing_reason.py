@@ -1,0 +1,7 @@
+"""A reason-less suppression: rejected with R000, finding still reported."""
+
+import numpy as np
+
+
+def no_reason_given():
+    return np.random.default_rng()  # reprolint: disable=R001

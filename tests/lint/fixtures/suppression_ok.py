@@ -1,0 +1,12 @@
+"""Suppressions with mandatory reasons: findings are absorbed."""
+
+import numpy as np
+
+
+def intentional_fresh_entropy():
+    # Demonstration code: fresh entropy is the point here.
+    return np.random.default_rng()  # reprolint: disable=R001 demo draws fresh entropy on purpose
+
+
+def exact_probe(x):
+    return x == 0.25  # reprolint: disable=R008 0.25 is exactly representable and used as a sentinel

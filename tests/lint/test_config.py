@@ -1,0 +1,129 @@
+"""[tool.reprolint] configuration loading and path matching."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, Linter, load_config
+from repro.lint.config import _parse_toml_minimal, find_pyproject
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+PYPROJECT = """
+[project]
+name = "demo"
+
+[tool.reprolint]
+select = ["R001", "R008"]
+ignore = ["R008"]
+exclude = ["vendored", "gen/*.py"]
+
+[tool.reprolint.per-path-ignores]
+"examples" = ["R007", "R008"]
+"""
+
+
+def write_pyproject(tmp_path, text=PYPROJECT):
+    path = tmp_path / "pyproject.toml"
+    path.write_text(text)
+    return path
+
+
+def test_load_config_sections(tmp_path):
+    config = load_config(path=write_pyproject(tmp_path))
+    assert config.select == ["R001", "R008"]
+    assert config.ignore == ["R008"]
+    assert config.exclude == ["vendored", "gen/*.py"]
+    assert config.per_path_ignores == {"examples": ["R007", "R008"]}
+    assert config.root == tmp_path
+
+
+def test_missing_section_gives_default_config(tmp_path):
+    config = load_config(path=write_pyproject(tmp_path, "[project]\nname = 'x'\n"))
+    assert config.select == []
+    assert config.ignore == []
+    assert config.exclude == []
+
+
+def test_missing_file_gives_default_config(tmp_path):
+    config = load_config(start=tmp_path / "nowhere")
+    assert isinstance(config, LintConfig)
+
+
+def test_find_pyproject_walks_up(tmp_path):
+    pyproject = write_pyproject(tmp_path)
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == pyproject
+
+
+def test_exclude_prefix_and_glob(tmp_path):
+    config = LintConfig(exclude=["vendored", "gen/*.py"], root=tmp_path)
+    assert config.is_excluded(tmp_path / "vendored" / "deep" / "x.py")
+    assert config.is_excluded(tmp_path / "gen" / "auto.py")
+    assert not config.is_excluded(tmp_path / "src" / "x.py")
+
+
+def test_per_path_ignores_disable_rules(tmp_path):
+    config = LintConfig(per_path_ignores={"examples": ["R007"]}, root=tmp_path)
+    all_rules = ["R001", "R007"]
+    assert config.rules_for(tmp_path / "examples" / "demo.py", all_rules) == ["R001"]
+    assert config.rules_for(tmp_path / "src" / "mod.py", all_rules) == all_rules
+
+
+def test_config_applies_end_to_end(tmp_path):
+    """A config ignoring R008 silences the R008 fixture through the Linter."""
+    config = LintConfig(ignore=["R008"])
+    report = Linter(config).lint_file(FIXTURES / "r008_pos.py")
+    assert report.findings == []
+
+
+def test_per_path_ignores_end_to_end(tmp_path):
+    fixture_root = FIXTURES.parent
+    config = LintConfig(
+        per_path_ignores={"fixtures": ["R008"]}, root=fixture_root
+    )
+    report = Linter(config).lint_file(FIXTURES / "r008_pos.py")
+    assert report.findings == []
+
+
+def test_bad_config_types_raise(tmp_path):
+    bad = "[tool.reprolint]\nselect = 'R001'\n"
+    with pytest.raises(ValueError, match="array of strings"):
+        load_config(path=write_pyproject(tmp_path, bad))
+
+
+def test_merged_with_cli_overrides_select():
+    config = LintConfig(select=["R001"], ignore=["R002"])
+    merged = config.merged_with_cli(["R003"], ["R004"])
+    assert merged.select == ["R003"]
+    assert set(merged.ignore) == {"R002", "R004"}
+
+
+def test_repo_pyproject_is_loadable():
+    """The real repo config parses and excludes the lint fixtures."""
+    repo_root = Path(__file__).resolve().parents[2]
+    config = load_config(path=repo_root / "pyproject.toml")
+    assert config.is_excluded(FIXTURES / "r001_pos.py")
+    assert "R008" in config.per_path_ignores.get("tests", [])
+
+
+def test_minimal_toml_fallback_parser():
+    """The 3.10 fallback handles the reprolint subset, incl. multiline arrays."""
+    data = _parse_toml_minimal(
+        """
+[tool.reprolint]
+select = ["R001",
+          "R002"]
+ignore = []  # trailing comment
+flag = true
+
+[tool.reprolint.per-path-ignores]
+"examples" = ["R007"]
+"""
+    )
+    section = data["tool"]["reprolint"]
+    assert section["select"] == ["R001", "R002"]
+    assert section["ignore"] == []
+    assert section["flag"] is True
+    assert section["per-path-ignores"]["examples"] == ["R007"]

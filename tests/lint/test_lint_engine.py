@@ -1,0 +1,134 @@
+"""Engine behaviour: suppressions, select/ignore, parse errors, discovery."""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, Linter
+from repro.lint.engine import discover_files
+from repro.lint.findings import scan_suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint(name: str, **config_kwargs):
+    return Linter(LintConfig(**config_kwargs)).lint_file(FIXTURES / name)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_suppression_with_reason_absorbs_finding():
+    report = lint("suppression_ok.py")
+    assert report.findings == []
+    assert len(report.suppressed) == 2
+    assert {f.rule for f in report.suppressed} == {"R001", "R008"}
+
+
+def test_reasonless_suppression_is_rejected_and_finding_survives():
+    report = lint("suppression_missing_reason.py")
+    rules = [f.rule for f in report.findings]
+    # R000 for the bad suppression AND the original R001 both surface.
+    assert "R000" in rules
+    assert "R001" in rules
+    assert report.suppressed == []
+
+
+def test_suppression_only_covers_listed_rules():
+    source = (
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return np.random.default_rng(), x == 0.5  "
+        "# reprolint: disable=R008 exact probe sentinel\n"
+    )
+    report = Linter(LintConfig()).lint_source(source, "inline.py")
+    assert [f.rule for f in report.findings] == ["R001"]
+    assert [f.rule for f in report.suppressed] == ["R008"]
+
+
+def test_suppression_all_keyword():
+    source = (
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return np.random.default_rng(), x == 0.5  "
+        "# reprolint: disable=all generated fixture line\n"
+    )
+    report = Linter(LintConfig()).lint_source(source, "inline.py")
+    assert report.findings == []
+    assert len(report.suppressed) == 2
+
+
+def test_scan_suppressions_parses_codes_and_reason():
+    suppressions, findings = scan_suppressions(
+        "x.py", ["x = 1  # reprolint: disable=R001,R003 mixed cleanup"]
+    )
+    assert findings == []
+    assert suppressions[1].codes == frozenset({"R001", "R003"})
+    assert suppressions[1].reason == "mixed cleanup"
+
+
+def test_malformed_code_is_not_a_suppression():
+    # Typo'd codes do not silently suppress anything.
+    suppressions, findings = scan_suppressions(
+        "x.py", ["x = 1  # reprolint: disable=R01 oops"]
+    )
+    assert suppressions == {}
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# select / ignore
+# ----------------------------------------------------------------------
+def test_select_restricts_rules():
+    report = lint("r001_pos.py", select=["R003"])
+    assert report.findings == []
+
+
+def test_ignore_drops_rules():
+    report = lint("r001_pos.py", ignore=["R001"])
+    assert all(f.rule != "R001" for f in report.findings)
+
+
+def test_unknown_rule_id_raises():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown rule"):
+        Linter(LintConfig(select=["R999"]))
+
+
+# ----------------------------------------------------------------------
+# parse errors and discovery
+# ----------------------------------------------------------------------
+def test_syntax_error_reports_e001(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    report = Linter(LintConfig()).lint_file(bad)
+    assert [f.rule for f in report.findings] == ["E001"]
+    assert "syntax error" in report.findings[0].message
+
+
+def test_missing_file_reports_e001(tmp_path):
+    report = Linter(LintConfig()).lint_file(tmp_path / "absent.py")
+    assert [f.rule for f in report.findings] == ["E001"]
+
+
+def test_discover_files_honours_exclude(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "skip").mkdir()
+    (tmp_path / "pkg" / "skip" / "b.py").write_text("x = 2\n")
+    config = LintConfig(exclude=["pkg/skip"], root=tmp_path)
+    files = discover_files([tmp_path / "pkg"], config)
+    assert [f.name for f in files] == ["a.py"]
+
+
+def test_discover_files_deduplicates(tmp_path):
+    target = tmp_path / "a.py"
+    target.write_text("x = 1\n")
+    files = discover_files([target, tmp_path], LintConfig(root=tmp_path))
+    assert len(files) == 1
+
+
+def test_clean_file_reports_ok(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x):\n    return x + 1\n")
+    report = Linter(LintConfig()).lint_file(clean)
+    assert report.ok

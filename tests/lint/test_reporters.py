@@ -1,0 +1,55 @@
+"""Reporter output: text format and the JSON schema."""
+
+import json
+from pathlib import Path
+
+from repro.lint import LintConfig, Linter
+from repro.lint.reporters import JSON_SCHEMA_VERSION, render_json, render_text
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def reports_for(*names):
+    linter = Linter(LintConfig())
+    return [linter.lint_file(FIXTURES / name) for name in names]
+
+
+def test_json_schema_keys_and_types():
+    payload = json.loads(render_json(reports_for("r001_pos.py", "r001_neg.py")))
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_checked"] == 2
+    assert set(payload["counts"]) == {"total", "suppressed", "by_rule"}
+    assert payload["counts"]["total"] == len(payload["findings"])
+    assert payload["counts"]["by_rule"].get("R001", 0) > 0
+    for finding in payload["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert isinstance(finding["line"], int)
+        assert isinstance(finding["col"], int)
+        assert finding["rule"].startswith(("R", "E"))
+
+
+def test_json_counts_suppressed():
+    payload = json.loads(render_json(reports_for("suppression_ok.py")))
+    assert payload["counts"]["total"] == 0
+    assert payload["counts"]["suppressed"] == 2
+
+
+def test_json_findings_sorted_by_location():
+    payload = json.loads(render_json(reports_for("r001_pos.py")))
+    keys = [(f["path"], f["line"], f["col"]) for f in payload["findings"]]
+    assert keys == sorted(keys)
+
+
+def test_text_report_format():
+    text = render_text(reports_for("r001_pos.py"))
+    first = text.splitlines()[0]
+    # path:line:col: RULE message
+    assert "r001_pos.py:" in first
+    assert ": R001 " in first
+    assert "Found" in text.splitlines()[-1]
+
+
+def test_text_report_clean_summary():
+    text = render_text(reports_for("r001_neg.py"))
+    assert text.startswith("Clean:")
+    assert "0 findings" in text

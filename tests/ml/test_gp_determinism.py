@@ -1,0 +1,51 @@
+"""Regression: GP posterior sampling must be deterministic in `seed`.
+
+`sample_posterior` used to fall back to a seedless `np.random.default_rng()`
+when no `rng` was passed — exactly the silent-nondeterminism class reprolint
+rule R001 now forbids.  The fallback must derive from `self.seed`.
+"""
+
+import numpy as np
+
+from repro.ml.gp import GaussianProcessRegressor
+
+
+def fitted_gp(seed=7):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(12, 2))
+    y = np.sin(3.0 * X[:, 0]) + 0.5 * X[:, 1]
+    return GaussianProcessRegressor(seed=seed, n_restarts=1).fit(X, y)
+
+
+def test_sample_posterior_without_rng_is_deterministic():
+    gp = fitted_gp(seed=7)
+    X_test = np.linspace(0.0, 1.0, 5)[:, None].repeat(2, axis=1)
+    first = gp.sample_posterior(X_test, n_samples=3)
+    second = gp.sample_posterior(X_test, n_samples=3)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_same_seed_same_samples_across_instances():
+    X_test = np.linspace(0.0, 1.0, 4)[:, None].repeat(2, axis=1)
+    a = fitted_gp(seed=11).sample_posterior(X_test, n_samples=2)
+    b = fitted_gp(seed=11).sample_posterior(X_test, n_samples=2)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_explicit_rng_still_advances_stream():
+    """Passing an rng keeps the caller in charge: two draws differ."""
+    gp = fitted_gp(seed=3)
+    X_test = np.linspace(0.0, 1.0, 4)[:, None].repeat(2, axis=1)
+    rng = np.random.default_rng(123)
+    first = gp.sample_posterior(X_test, n_samples=2, rng=rng)
+    second = gp.sample_posterior(X_test, n_samples=2, rng=rng)
+    assert not np.array_equal(first, second)
+
+
+def test_seedless_gp_falls_back_to_default_rng_seed_none():
+    """seed=None still works (default_rng(None) is valid); just not equal
+    across calls is acceptable there — but the call must not crash."""
+    gp = fitted_gp(seed=None)
+    X_test = np.linspace(0.0, 1.0, 3)[:, None].repeat(2, axis=1)
+    draws = gp.sample_posterior(X_test, n_samples=2)
+    assert draws.shape == (2, 3)
