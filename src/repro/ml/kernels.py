@@ -8,6 +8,13 @@ spurious ordering.
 
 Every kernel exposes a log-space hyperparameter vector (``theta``) with
 box bounds so the GP can maximize marginal likelihood over it.
+
+``__call__`` optionally accepts a :class:`~repro.perf.cache.KernelCache`;
+stationary kernels use it to reuse their theta-independent pairwise
+structures (squared distances, Hamming mismatch counts) across the many
+likelihood evaluations of one hyperparameter fit.  Passing a cache never
+changes the produced matrix — the cached array is built by the same
+routine the uncached call runs.
 """
 
 from __future__ import annotations
@@ -16,6 +23,8 @@ import math
 from typing import Sequence
 
 import numpy as np
+
+from repro.perf.cache import KernelCache
 
 _LOG_BOUND = (math.log(1e-3), math.log(1e3))
 
@@ -35,10 +44,31 @@ def _select(X: np.ndarray, dims: np.ndarray | None) -> np.ndarray:
 
 
 class Kernel:
-    """Base covariance function."""
+    """Base covariance function.
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    ``cache`` is an optional :class:`KernelCache` whose lifetime must not
+    exceed that of the operand arrays (entries are keyed by operand
+    identity); kernels store only theta-independent intermediates in it.
+    """
+
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
         raise NotImplementedError
+
+    def _cached(
+        self,
+        cache: KernelCache | None,
+        role: str,
+        A: np.ndarray,
+        B: np.ndarray,
+        builder,
+    ):
+        """Memoize a theta-independent pairwise structure for ``(A, B)``."""
+        if cache is None:
+            return builder()
+        key = (id(self), role, id(A), id(B), np.shape(A), np.shape(B))
+        return cache.get(key, builder)
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
@@ -73,7 +103,9 @@ class ConstantKernel(Kernel):
             raise ValueError("variance must be > 0")
         self.variance = variance
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
         A = np.atleast_2d(A)
         B = np.atleast_2d(B)
         return np.full((len(A), len(B)), self.variance)
@@ -99,7 +131,9 @@ class WhiteKernel(Kernel):
             raise ValueError("noise must be > 0")
         self.noise = noise
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
         A = np.atleast_2d(A)
         B = np.atleast_2d(B)
         if A is B or (A.shape == B.shape and np.array_equal(A, B)):
@@ -131,10 +165,17 @@ class RBFKernel(Kernel):
         self.lengthscale = lengthscale
         self.dims = None if dims is None else np.asarray(dims, dtype=int)
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        A = _select(A, self.dims)
-        B = _select(B, self.dims)
-        return np.exp(-0.5 * _sq_dists(A, B) / self.lengthscale**2)
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
+        d2 = self._cached(
+            cache,
+            "sq_dists",
+            A,
+            B,
+            lambda: _sq_dists(_select(A, self.dims), _select(B, self.dims)),
+        )
+        return np.exp(-0.5 * d2 / self.lengthscale**2)
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return np.ones(len(np.atleast_2d(X)))
@@ -161,10 +202,17 @@ class Matern52Kernel(Kernel):
         self.lengthscale = lengthscale
         self.dims = None if dims is None else np.asarray(dims, dtype=int)
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        A = _select(A, self.dims)
-        B = _select(B, self.dims)
-        r = np.sqrt(_sq_dists(A, B)) / self.lengthscale
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
+        dists = self._cached(
+            cache,
+            "dists",
+            A,
+            B,
+            lambda: np.sqrt(_sq_dists(_select(A, self.dims), _select(B, self.dims))),
+        )
+        r = dists / self.lengthscale
         sqrt5_r = math.sqrt(5.0) * r
         return (1.0 + sqrt5_r + 5.0 * r**2 / 3.0) * np.exp(-sqrt5_r)
 
@@ -198,10 +246,15 @@ class HammingKernel(Kernel):
         self.lengthscale = lengthscale
         self.dims = None if dims is None else np.asarray(dims, dtype=int)
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        A = _select(A, self.dims)
-        B = _select(B, self.dims)
-        diff = (np.abs(A[:, None, :] - B[None, :, :]) > 1e-12).sum(axis=2)
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
+        def mismatches() -> np.ndarray:
+            As = _select(A, self.dims)
+            Bs = _select(B, self.dims)
+            return (np.abs(As[:, None, :] - Bs[None, :, :]) > 1e-12).sum(axis=2)
+
+        diff = self._cached(cache, "hamming", A, B, mismatches)
         return np.exp(-diff / self.lengthscale)
 
     def diag(self, X: np.ndarray) -> np.ndarray:
@@ -244,8 +297,10 @@ class _Composite(Kernel):
 class ProductKernel(_Composite):
     """Pointwise product of two kernels."""
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        return self.left(A, B) * self.right(A, B)
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
+        return self.left(A, B, cache) * self.right(A, B, cache)
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return self.left.diag(X) * self.right.diag(X)
@@ -254,8 +309,10 @@ class ProductKernel(_Composite):
 class SumKernel(_Composite):
     """Pointwise sum of two kernels."""
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        return self.left(A, B) + self.right(A, B)
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
+        return self.left(A, B, cache) + self.right(A, B, cache)
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return self.left.diag(X) + self.right.diag(X)
@@ -282,12 +339,14 @@ class MixedKernel(Kernel):
         self._matern = Matern52Kernel(continuous_lengthscale, dims=self.continuous_dims)
         self._hamming = HammingKernel(categorical_lengthscale, dims=self.categorical_dims)
 
-    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    def __call__(
+        self, A: np.ndarray, B: np.ndarray, cache: KernelCache | None = None
+    ) -> np.ndarray:
         if len(self.continuous_dims) == 0:
-            return self._hamming(A, B)
+            return self._hamming(A, B, cache)
         if len(self.categorical_dims) == 0:
-            return self._matern(A, B)
-        return self._matern(A, B) * self._hamming(A, B)
+            return self._matern(A, B, cache)
+        return self._matern(A, B, cache) * self._hamming(A, B, cache)
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return np.ones(len(np.atleast_2d(X)))

@@ -103,7 +103,8 @@ class TuRBO(Optimizer):
         mask = self.rng.random(raw.shape) < prob
         mask[np.arange(len(raw)), self.rng.integers(0, d, len(raw))] = True
         cands = np.where(mask, raw, region.center[None, :])
-        return self.space.encode_many([self.space.decode(row) for row in cands])
+        # Array-level snap (bit-identical to the per-row decode/encode loop).
+        return self.space.snap_many(cands)
 
     def _local_gp(self, region: _TrustRegion) -> GaussianProcessRegressor | None:
         if len(region.observations) < 2:
@@ -118,6 +119,9 @@ class TuRBO(Optimizer):
             optimize_hyperparams=len(region.observations) >= 6,
             n_restarts=0,
             seed=int(self.rng.integers(0, 2**31 - 1)),
+            # Local models refit every suggestion: reuse the pairwise
+            # distances across their hyperparameter-search evaluations.
+            cache_distances=True,
         )
         gp.fit(X, y)
         return gp

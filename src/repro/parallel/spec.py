@@ -25,15 +25,21 @@ class RegistryOptimizerFactory:
     """A picklable optimizer factory referencing ``OPTIMIZER_REGISTRY``.
 
     Experiment harnesses historically used lambdas, which cannot cross a
-    process boundary; this by-name factory can.
+    process boundary; this by-name factory can.  ``options`` is a tuple of
+    ``(keyword, value)`` pairs forwarded to the optimizer constructor — a
+    tuple rather than a dict so the factory stays hashable and picklable
+    (e.g. ``(("full_refit", True),)`` for the Figure 9 overhead runs).
     """
 
     optimizer_name: str
+    options: tuple[tuple[str, Any], ...] = ()
 
     def __call__(self, space: ConfigurationSpace, seed: int) -> Optimizer:
         from repro.optimizers import OPTIMIZER_REGISTRY
 
-        return OPTIMIZER_REGISTRY[self.optimizer_name](space, seed=seed)
+        return OPTIMIZER_REGISTRY[self.optimizer_name](
+            space, seed=seed, **dict(self.options)
+        )
 
 
 @dataclass(frozen=True)

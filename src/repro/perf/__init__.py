@@ -1,0 +1,27 @@
+"""GP/BO hot-path acceleration primitives and the tracked benchmark harness.
+
+Every optimizer study in the paper spends its wall-clock inside the GP
+surrogate: ``_GPBasedBO.suggest`` refits the GP from scratch each
+iteration, which is the cubic algorithm-overhead growth the paper
+*measures* in Figure 9 — but the implementation overhead on top of the
+mathematically necessary O(n^3) is pure waste.  This package holds the
+pieces that remove it:
+
+- :mod:`repro.perf.cache` — :class:`KernelCache`, a per-fit store for
+  theta-independent pairwise structures (squared distances, Hamming
+  mismatch counts) reused across the ~120 log-marginal-likelihood
+  evaluations one L-BFGS-B hyperparameter fit performs.  Bit-identical
+  to the uncached path by construction.
+- :mod:`repro.perf.incremental` — :func:`cholesky_append`, the O(n^2)
+  bordered-Cholesky update behind the GP's opt-in incremental refit.
+- :mod:`repro.perf.bench` — ``python -m repro.perf.bench``, the
+  microbenchmark harness that times GP fit/predict, candidate-pool
+  construction, and one steady-state BO iteration at several history
+  sizes and emits ``benchmarks/perf/BENCH_PR4.json`` so the perf
+  trajectory is tracked from PR 4 onward (see ``docs/PERFORMANCE.md``).
+"""
+
+from repro.perf.cache import KernelCache
+from repro.perf.incremental import cholesky_append
+
+__all__ = ["KernelCache", "cholesky_append"]

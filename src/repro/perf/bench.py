@@ -1,0 +1,379 @@
+"""Microbenchmark harness for the GP/BO hot path (``python -m repro.perf.bench``).
+
+Times the four operations the paper's optimizer studies spend their
+wall-clock in, at several history sizes, in two arms each:
+
+==================  =====================================================
+``gp_fit``          Full hyperparameter-optimized GP fit (L-BFGS-B over
+                    theta) on an ``(n, d)`` training set.
+``gp_predict``      Posterior mean + std at a 1024-point candidate pool.
+``candidate_pool``  Snapping a 1280-row candidate matrix to valid unit
+                    encodings over a mixed (continuous/integer/
+                    categorical, linear/log) space.
+``bo_iteration``    One steady-state BO iteration at history size ``n``:
+                    surrogate (re)build plus acquisition maximization.
+==================  =====================================================
+
+The **baseline** arm reproduces the pre-acceleration implementation
+(``accelerated=False``: no distance caching, per-row decode/encode snap
+loop, from-scratch refit each iteration); the **optimized** arm enables
+the default-on layer plus — for ``bo_iteration`` only — the opt-in
+incremental Cholesky append and warm-started refit schedule.  Results are
+written as JSON (default ``benchmarks/perf/BENCH_PR4.json``) so the perf
+trajectory is tracked in-repo from PR 4 onward; ``--validate`` checks an
+existing file against the schema without re-running anything.
+
+All entropy derives from the explicit ``--seed``; no wall-clock state
+enters the payload (durations come from ``time.perf_counter``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+import numpy as np
+import scipy
+
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import ConstantKernel, RBFKernel
+from repro.optimizers.base import History, Observation
+from repro.optimizers.bo import VanillaBO
+from repro.space import ConfigurationSpace
+from repro.space.parameter import CategoricalKnob, ContinuousKnob, IntegerKnob
+
+SCHEMA_VERSION = 1
+DEFAULT_SIZES = (25, 50, 100, 200)
+SMOKE_SIZES = (10, 20)
+DEFAULT_OUT = "benchmarks/perf/BENCH_PR4.json"
+DEFAULT_SEED = 17
+DEFAULT_REPEATS = 3
+POOL_ROWS = 1280
+PREDICT_ROWS = 1024
+GP_DIMS = 12
+OPS = ("gp_fit", "gp_predict", "candidate_pool", "bo_iteration")
+
+
+def bench_space() -> ConfigurationSpace:
+    """A 12-knob mixed space exercising every codec flavor."""
+    return ConfigurationSpace(
+        [
+            ContinuousKnob("c0", 0.0, 1.0, 0.5),
+            ContinuousKnob("c1", -5.0, 5.0, 0.0),
+            ContinuousKnob("c2", 1e-3, 1e3, 1.0, log=True),
+            ContinuousKnob("c3", 1e-2, 1e4, 10.0, log=True),
+            IntegerKnob("i0", 0, 10_000, 500),
+            IntegerKnob("i1", 1, 64, 8),
+            IntegerKnob("i2", 1, 2**30, 4096, log=True),
+            IntegerKnob("i3", 4, 10**6, 1000, log=True),
+            CategoricalKnob("k0", ["off", "on"], "off"),
+            CategoricalKnob("k1", ["a", "b", "c"], "a"),
+            CategoricalKnob("k2", list("pqrst"), "p"),
+            CategoricalKnob("k3", ["lru", "fifo", "clock", "arc"], "lru"),
+        ]
+    )
+
+
+def _surface_score(x: np.ndarray) -> float:
+    """Deterministic smooth objective over unit encodings (maximized)."""
+    return -float(np.sum((np.asarray(x, dtype=float) - 0.4) ** 2))
+
+
+def _synthetic_history(space: ConfigurationSpace, n: int, seed: int) -> History:
+    rng = np.random.default_rng(seed)
+    history = History(space)
+    for config in space.sample_configurations(n, rng):
+        score = _surface_score(space.encode(config))
+        history.append(Observation(config=config, objective=score, score=score))
+    return history
+
+
+def _best_of(repeats: int, trial: Callable[[], float]) -> float:
+    """Minimum duration over ``repeats`` independent trials."""
+    return min(trial() for _ in range(max(1, repeats)))
+
+
+# ----------------------------------------------------------------------
+# per-operation trials — each returns elapsed seconds for one execution
+# ----------------------------------------------------------------------
+def _gp_fit_seconds(n: int, seed: int, accelerated: bool) -> float:
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, GP_DIMS))
+    y = np.sin(3.0 * X[:, 0]) + X[:, 1] ** 2 + 0.1 * rng.standard_normal(n)
+    gp = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0) * RBFKernel(0.5),
+        noise=1e-4,
+        n_restarts=1,
+        seed=seed,
+        cache_distances=accelerated,
+    )
+    start = perf_counter()
+    gp.fit(X, y)
+    return perf_counter() - start
+
+
+def _gp_predict_seconds(n: int, seed: int, accelerated: bool) -> float:
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, GP_DIMS))
+    y = np.sin(3.0 * X[:, 0]) + 0.1 * rng.standard_normal(n)
+    gp = GaussianProcessRegressor(
+        kernel=ConstantKernel(1.0) * RBFKernel(0.5),
+        noise=1e-4,
+        n_restarts=0,
+        seed=seed,
+        cache_distances=accelerated,
+    )
+    gp.fit(X, y)
+    X_test = rng.random((PREDICT_ROWS, GP_DIMS))
+    start = perf_counter()
+    gp.predict(X_test, return_std=True)
+    return perf_counter() - start
+
+
+def _candidate_pool_seconds(
+    space: ConfigurationSpace, rows: int, seed: int, accelerated: bool
+) -> float:
+    rng = np.random.default_rng(seed)
+    U = rng.random((rows, space.n_dims))
+    start = perf_counter()
+    if accelerated:
+        space.snap_many(U)
+    else:
+        space.encode_many([space.decode(row) for row in U])
+    return perf_counter() - start
+
+
+def _bo_iteration_seconds(
+    space: ConfigurationSpace, n: int, seed: int, accelerated: bool
+) -> float:
+    history = _synthetic_history(space, n, seed)
+    if accelerated:
+        optimizer = VanillaBO(
+            space, seed=seed, accelerated=True, incremental=True, refit_every=5
+        )
+    else:
+        optimizer = VanillaBO(space, seed=seed, accelerated=False, full_refit=True)
+    # Untimed warm-up suggestion establishes the surrogate, so the timed
+    # call measures the steady state (for the optimized arm: one O(n^2)
+    # incremental append instead of a from-scratch hyperparameter fit).
+    config = optimizer.suggest(history)
+    score = _surface_score(space.encode(config))
+    history.append(Observation(config=config, objective=score, score=score))
+    start = perf_counter()
+    optimizer.suggest(history)
+    return perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+def run_bench(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seed: int = DEFAULT_SEED,
+    repeats: int = DEFAULT_REPEATS,
+    pool_rows: int = POOL_ROWS,
+    smoke: bool = False,
+) -> dict[str, Any]:
+    """Run every (operation, size) cell in both arms; return the payload."""
+    space = bench_space()
+    sizes = tuple(int(n) for n in sizes)
+    results: list[dict[str, Any]] = []
+
+    def cell(op: str, n: int, trial: Callable[[bool], float]) -> None:
+        baseline = _best_of(repeats, lambda: trial(False))
+        optimized = _best_of(repeats, lambda: trial(True))
+        results.append(
+            {
+                "op": op,
+                "n": n,
+                "baseline_seconds": baseline,
+                "optimized_seconds": optimized,
+                "speedup": baseline / optimized if optimized > 0 else float("inf"),
+            }
+        )
+
+    for n in sizes:
+        cell("gp_fit", n, lambda acc, n=n: _gp_fit_seconds(n, seed, acc))
+        cell("gp_predict", n, lambda acc, n=n: _gp_predict_seconds(n, seed, acc))
+        cell("bo_iteration", n, lambda acc, n=n: _bo_iteration_seconds(space, n, seed, acc))
+    cell(
+        "candidate_pool",
+        pool_rows,
+        lambda acc: _candidate_pool_seconds(space, pool_rows, seed, acc),
+    )
+
+    summary: dict[str, float] = {}
+    for op in OPS:
+        cells = [r for r in results if r["op"] == op]
+        if cells:
+            largest = max(cells, key=lambda r: r["n"])
+            summary[f"{op}_n{largest['n']}_speedup"] = largest["speedup"]
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "repro.perf.bench",
+        "pr": "PR4",
+        "seed": seed,
+        "smoke": smoke,
+        "repeats": repeats,
+        "sizes": list(sizes),
+        "pool_rows": pool_rows,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+        },
+        "results": results,
+        "summary": summary,
+    }
+
+
+# ----------------------------------------------------------------------
+def validate_payload(payload: Any) -> list[str]:
+    """Return schema violations (empty list == valid).
+
+    Checks structure and value domains only — never timing magnitudes, so
+    CI stays insensitive to runner speed.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+
+    def require(key: str, kind: type | tuple[type, ...]) -> Any:
+        if key not in payload:
+            errors.append(f"missing key: {key}")
+            return None
+        if not isinstance(payload[key], kind):
+            errors.append(f"key {key!r} has type {type(payload[key]).__name__}")
+            return None
+        return payload[key]
+
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"schema_version must be {SCHEMA_VERSION}")
+    require("seed", int)
+    require("smoke", bool)
+    require("repeats", int)
+    sizes = require("sizes", list)
+    require("pool_rows", int)
+    env = require("env", dict)
+    if env is not None:
+        for key in ("python", "numpy", "scipy"):
+            if not isinstance(env.get(key), str):
+                errors.append(f"env.{key} must be a string")
+    if sizes is not None and not all(isinstance(n, int) and n > 0 for n in sizes):
+        errors.append("sizes must be positive integers")
+    results = require("results", list)
+    if results is not None:
+        if not results:
+            errors.append("results must be non-empty")
+        for i, row in enumerate(results):
+            if not isinstance(row, dict):
+                errors.append(f"results[{i}] is not an object")
+                continue
+            if row.get("op") not in OPS:
+                errors.append(f"results[{i}].op {row.get('op')!r} not in {OPS}")
+            if not (isinstance(row.get("n"), int) and row["n"] > 0):
+                errors.append(f"results[{i}].n must be a positive integer")
+            for key in ("baseline_seconds", "optimized_seconds", "speedup"):
+                value = row.get(key)
+                if not (isinstance(value, (int, float)) and value > 0):
+                    errors.append(f"results[{i}].{key} must be a positive number")
+    summary = require("summary", dict)
+    if summary is not None:
+        for key, value in summary.items():
+            if not isinstance(value, (int, float)):
+                errors.append(f"summary.{key} must be a number")
+    return errors
+
+
+def _format_report(payload: dict[str, Any]) -> str:
+    lines = [
+        f"repro.perf.bench (seed={payload['seed']}, repeats={payload['repeats']}, "
+        f"smoke={payload['smoke']})",
+        f"{'op':<16}{'n':>7}{'baseline (s)':>15}{'optimized (s)':>15}{'speedup':>10}",
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['op']:<16}{row['n']:>7}"
+            f"{row['baseline_seconds']:>15.6f}{row['optimized_seconds']:>15.6f}"
+            f"{row['speedup']:>9.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="GP/BO hot-path microbenchmarks (see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help=f"comma-separated history sizes (default {','.join(map(str, DEFAULT_SIZES))})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="explicit RNG seed for all synthetic data (no wall-clock entropy)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="trials per cell (min is reported)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"tiny sizes {SMOKE_SIZES} and one repeat, for CI schema checks",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument(
+        "--validate",
+        metavar="PATH",
+        default=None,
+        help="validate an existing payload against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            payload = json.loads(Path(args.validate).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read payload: {exc}", file=sys.stderr)
+            return 2
+        errors = validate_payload(payload)
+        if errors:
+            for error in errors:
+                print(f"schema violation: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: schema OK ({len(payload['results'])} result rows)")
+        return 0
+
+    if args.smoke:
+        sizes = SMOKE_SIZES if args.sizes is None else tuple(
+            int(s) for s in args.sizes.split(",")
+        )
+        repeats = 1 if args.repeats is None else args.repeats
+        pool_rows = 256
+    else:
+        sizes = DEFAULT_SIZES if args.sizes is None else tuple(
+            int(s) for s in args.sizes.split(",")
+        )
+        repeats = DEFAULT_REPEATS if args.repeats is None else args.repeats
+        pool_rows = POOL_ROWS
+
+    payload = run_bench(
+        sizes=sizes, seed=args.seed, repeats=repeats, pool_rows=pool_rows, smoke=args.smoke
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(_format_report(payload))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""O(n^2) bordered-Cholesky update for growing GP training sets.
+
+When a BO iteration appends exactly one observation and the kernel
+hyperparameters are unchanged, the new covariance matrix is the old one
+bordered by a single row/column.  Its Cholesky factor extends the old
+factor without refactorizing:
+
+    K' = [[K, k], [k^T, kappa]]
+    L' = [[L, 0], [l^T, sqrt(kappa - l^T l)]]   with  L l = k
+
+which costs one triangular solve — O(n^2) — instead of the O(n^3) of a
+fresh factorization.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import linalg
+
+
+def cholesky_append(L: np.ndarray, k: np.ndarray, kappa: float) -> np.ndarray:
+    """Extend a lower Cholesky factor by one bordered row/column.
+
+    Parameters
+    ----------
+    L:
+        Lower-triangular Cholesky factor of the current ``(n, n)``
+        covariance matrix ``K``.
+    k:
+        Cross-covariance column between the new point and the ``n``
+        existing points, shape ``(n,)``.
+    kappa:
+        The new diagonal entry (kernel self-covariance plus noise and
+        jitter — whatever the full factorization would have added).
+
+    Returns
+    -------
+    The ``(n + 1, n + 1)`` lower Cholesky factor of the bordered matrix.
+
+    Raises
+    ------
+    scipy.linalg.LinAlgError
+        If the bordered matrix is not positive definite (the Schur
+        complement of the new diagonal entry is non-positive).  Callers
+        should fall back to a full factorization with a larger jitter.
+    """
+    L = np.asarray(L, dtype=float)
+    k = np.asarray(k, dtype=float).ravel()
+    n = L.shape[0]
+    if L.shape != (n, n):
+        raise ValueError(f"L must be square, got shape {L.shape}")
+    if k.shape != (n,):
+        raise ValueError(f"k must have shape ({n},), got {k.shape}")
+    if n == 0:
+        ell = np.zeros(0)
+        schur = float(kappa)
+    else:
+        ell = linalg.solve_triangular(L, k, lower=True)
+        schur = float(kappa) - float(ell @ ell)
+    if schur <= 0.0:
+        raise linalg.LinAlgError(
+            "bordered matrix is not positive definite (Schur complement "
+            f"{schur:.3e} <= 0); refactorize with more jitter"
+        )
+    out = np.zeros((n + 1, n + 1))
+    out[:n, :n] = L
+    out[n, :n] = ell
+    out[n, n] = math.sqrt(schur)
+    return out

@@ -1,0 +1,135 @@
+"""Incremental (bordered) Cholesky append and ``GaussianProcessRegressor.augment``."""
+
+import numpy as np
+import pytest
+from scipy import linalg
+
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import ConstantKernel, RBFKernel
+from repro.perf.incremental import cholesky_append
+
+
+def _spd_matrix(n, rng):
+    A = rng.standard_normal((n, n))
+    return A @ A.T + n * np.eye(n)
+
+
+class TestCholeskyAppend:
+    def test_matches_full_factorization(self):
+        rng = np.random.default_rng(11)
+        K = _spd_matrix(8, rng)
+        k = rng.standard_normal(8) * 0.1
+        kappa = 12.0
+        bordered = np.zeros((9, 9))
+        bordered[:8, :8] = K
+        bordered[8, :8] = k
+        bordered[:8, 8] = k
+        bordered[8, 8] = kappa
+        L = linalg.cholesky(K, lower=True)
+        L_inc = cholesky_append(L, k, kappa)
+        L_full = linalg.cholesky(bordered, lower=True)
+        np.testing.assert_allclose(L_inc, L_full, atol=1e-10)
+
+    def test_empty_factor(self):
+        L = cholesky_append(np.zeros((0, 0)), np.zeros(0), 4.0)
+        np.testing.assert_allclose(L, [[2.0]])
+
+    def test_rejects_non_positive_definite(self):
+        rng = np.random.default_rng(3)
+        K = _spd_matrix(5, rng)
+        L = linalg.cholesky(K, lower=True)
+        # Duplicate an existing row/column with its exact diagonal entry:
+        # the Schur complement is (numerically) zero, so the bordered
+        # matrix is singular.
+        with pytest.raises(linalg.LinAlgError, match="positive definite"):
+            cholesky_append(L, K[:, 2], float(K[2, 2]))
+
+    def test_shape_validation(self):
+        rng = np.random.default_rng(4)
+        L = linalg.cholesky(_spd_matrix(4, rng), lower=True)
+        with pytest.raises(ValueError, match="shape"):
+            cholesky_append(L, np.zeros(3), 1.0)
+        with pytest.raises(ValueError, match="square"):
+            cholesky_append(np.zeros((4, 3)), np.zeros(4), 1.0)
+
+
+class TestAugment:
+    def _make_gp(self, seed=0):
+        return GaussianProcessRegressor(
+            kernel=ConstantKernel(1.0) * RBFKernel(0.5),
+            noise=1e-4,
+            optimize_hyperparams=False,
+            seed=seed,
+        )
+
+    def test_fifty_appends_match_full_refit(self):
+        """The ISSUE acceptance check: 50 sequential O(n^2) appends stay
+        within atol=1e-8 of a from-scratch fit on the same data."""
+        rng = np.random.default_rng(42)
+        d = 4
+        X_all = rng.random((60, d))
+        y_all = np.sin(4.0 * X_all[:, 0]) + X_all[:, 1] ** 2 + 0.05 * rng.standard_normal(60)
+        X_test = rng.random((25, d))
+
+        inc = self._make_gp().fit(X_all[:10], y_all[:10])
+        for i in range(10, 60):
+            inc.augment(X_all[i], float(y_all[i]))
+
+        full = self._make_gp().fit(X_all, y_all)
+        mean_inc, std_inc = inc.predict(X_test, return_std=True)
+        mean_full, std_full = full.predict(X_test, return_std=True)
+        np.testing.assert_allclose(mean_inc, mean_full, atol=1e-8)
+        np.testing.assert_allclose(std_inc, std_full, atol=1e-8)
+        np.testing.assert_allclose(
+            inc.log_marginal_likelihood_, full.log_marginal_likelihood_, atol=1e-8
+        )
+
+    def test_augment_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            self._make_gp().augment(np.zeros(3), 1.0)
+
+    def test_augment_shape_validation(self):
+        rng = np.random.default_rng(5)
+        gp = self._make_gp().fit(rng.random((6, 3)), rng.random(6))
+        with pytest.raises(ValueError, match="shape"):
+            gp.augment(np.zeros(2), 1.0)
+
+    def test_augment_falls_back_to_full_refit(self, monkeypatch):
+        """A non-PD bordered matrix triggers a fixed-theta refactorization,
+        and the ``optimize_hyperparams`` flag survives the fallback."""
+        rng = np.random.default_rng(6)
+        X = rng.random((8, 3))
+        y = rng.random(8)
+        gp = GaussianProcessRegressor(
+            kernel=ConstantKernel(1.0) * RBFKernel(0.5), noise=1e-4, seed=0
+        )
+        gp.fit(X, y)
+        theta_before = gp.kernel.theta.copy()
+
+        def _always_non_pd(L, k, kappa):
+            raise linalg.LinAlgError("forced non-PD")
+
+        monkeypatch.setattr("repro.ml.gp.cholesky_append", _always_non_pd)
+        x_new = rng.random(3)
+        gp.augment(x_new, 0.5)
+        assert gp.optimize_hyperparams is True  # restored after fallback
+        assert len(gp._X) == 9
+        # Fallback refactorizes at the *frozen* theta — no re-optimization.
+        np.testing.assert_array_equal(gp.kernel.theta, theta_before)
+        mean = gp.predict(x_new[None, :])
+        assert np.all(np.isfinite(mean))
+
+    def test_extends_by_one(self):
+        rng = np.random.default_rng(7)
+        X = rng.random((5, 2))
+        y = rng.random(5)
+        gp = self._make_gp().fit(X, y)
+        grown_X = np.vstack([X, rng.random((1, 2))])
+        grown_y = np.concatenate([y, [0.3]])
+        assert gp.extends_by_one(grown_X, grown_y)
+        assert not gp.extends_by_one(X, y)  # same size, not +1
+        assert not gp.extends_by_one(grown_X[::-1], grown_y)  # reordered prefix
+        assert not gp.extends_by_one(
+            np.vstack([X, rng.random((2, 2))]), np.concatenate([y, [0.1, 0.2]])
+        )  # +2 rows
+        assert not self._make_gp().extends_by_one(grown_X, grown_y)  # unfitted

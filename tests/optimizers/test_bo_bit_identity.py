@@ -1,0 +1,115 @@
+"""The default-on acceleration layer must leave BO suggestion sequences
+byte-for-byte unchanged; the opt-in layer must still converge."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers.base import History, Observation
+from repro.optimizers.bo import MixedKernelBO, VanillaBO
+from repro.space import ConfigurationSpace
+from repro.space.parameter import CategoricalKnob, ContinuousKnob, IntegerKnob
+
+
+def _space():
+    return ConfigurationSpace(
+        [
+            ContinuousKnob("a", 0.0, 1.0, 0.5),
+            ContinuousKnob("b", 1e-2, 1e2, 1.0, log=True),
+            IntegerKnob("c", 0, 100, 10),
+            IntegerKnob("d", 1, 4096, 64, log=True),
+            CategoricalKnob("e", ["x", "y", "z"], "x"),
+        ]
+    )
+
+
+def _score(space, config):
+    x = space.encode(config)
+    return -float(np.sum((x - 0.4) ** 2))
+
+
+def _run(optimizer_cls, space, n_iters, seed, **options):
+    """Drive a BO loop on the fixed quadratic; return encoded suggestions
+    and the history."""
+    optimizer = optimizer_cls(space, seed=seed, **options)
+    history = History(space)
+    rng = np.random.default_rng(seed + 1)
+    for config in space.sample_configurations(3, rng):
+        score = _score(space, config)
+        history.append(Observation(config=config, objective=score, score=score))
+    encoded = []
+    for _ in range(n_iters):
+        config = optimizer.suggest(history)
+        encoded.append(space.encode(config))
+        score = _score(space, config)
+        history.append(Observation(config=config, objective=score, score=score))
+    return np.vstack(encoded), history
+
+
+@pytest.mark.parametrize("optimizer_cls", [VanillaBO, MixedKernelBO])
+def test_accelerated_suggestions_bit_identical(optimizer_cls):
+    space = _space()
+    fast, _ = _run(optimizer_cls, space, n_iters=8, seed=7, accelerated=True)
+    slow, _ = _run(optimizer_cls, space, n_iters=8, seed=7, accelerated=False)
+    assert fast.tobytes() == slow.tobytes()
+
+
+def test_full_refit_matches_legacy_schedule():
+    """``full_refit=True`` (the Figure 9 carve-out) must reproduce the
+    default schedule exactly, even when opt-in flags are also passed."""
+    space = _space()
+    legacy, _ = _run(VanillaBO, space, n_iters=6, seed=3)
+    forced, _ = _run(
+        VanillaBO, space, n_iters=6, seed=3, full_refit=True, incremental=True, refit_every=5
+    )
+    assert legacy.tobytes() == forced.tobytes()
+
+
+def test_full_refit_overrides_opt_in_flags():
+    optimizer = VanillaBO(_space(), seed=0, full_refit=True, incremental=True, refit_every=7)
+    assert optimizer.incremental is False
+    assert optimizer.refit_every == 1
+    assert optimizer.full_refit is True
+
+
+def test_refit_every_validation():
+    with pytest.raises(ValueError, match="refit_every"):
+        VanillaBO(_space(), seed=0, refit_every=0)
+
+
+def test_warm_start_schedule_converges_to_same_optimum():
+    """On the fixed-seed quadratic, the incremental/warm-start schedule
+    must find the same neighborhood of the optimum as the full refit."""
+    space = _space()
+    _, hist_full = _run(VanillaBO, space, n_iters=20, seed=11)
+    _, hist_warm = _run(
+        VanillaBO, space, n_iters=20, seed=11, incremental=True, refit_every=5
+    )
+    best_full = max(o.score for o in hist_full.successful())
+    best_warm = max(o.score for o in hist_warm.successful())
+    # Both schedules improve substantially over the three random seeds...
+    init_best = max(o.score for o in list(hist_full)[:3])
+    assert best_full > init_best
+    assert best_warm > init_best
+    # ...and land in the same neighborhood of the optimum (score 0 at 0.4).
+    assert abs(best_full - best_warm) < 0.05
+    assert best_warm > -0.2
+
+
+def test_incremental_schedule_actually_augments():
+    """Between full refits, a history that grew by one row must take the
+    O(n^2) augment path (the GP object is reused, not rebuilt)."""
+    space = _space()
+    optimizer = VanillaBO(space, seed=5, incremental=True, refit_every=10)
+    history = History(space)
+    rng = np.random.default_rng(6)
+    for config in space.sample_configurations(3, rng):
+        score = _score(space, config)
+        history.append(Observation(config=config, objective=score, score=score))
+    config = optimizer.suggest(history)  # first model build: full refit
+    gp_first = optimizer._gp
+    assert gp_first is not None
+    score = _score(space, config)
+    history.append(Observation(config=config, objective=score, score=score))
+    optimizer.suggest(history)  # second build: history grew by one -> augment
+    assert optimizer._gp is gp_first
+    assert len(optimizer._gp._X) == len(history.successful())

@@ -1,0 +1,99 @@
+"""The ``repro.perf.bench`` harness: payload generation, schema validation,
+and the CLI round trip.  Timing *magnitudes* are never asserted — CI
+runners are too noisy for that — only structure and value domains."""
+
+import json
+
+import pytest
+
+from repro.perf import bench
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # One tiny real run shared by the structural tests.
+    return bench.run_bench(sizes=(6,), seed=3, repeats=1, pool_rows=32, smoke=True)
+
+
+def test_run_bench_payload_is_schema_valid(payload):
+    assert bench.validate_payload(payload) == []
+
+
+def test_payload_covers_all_operations(payload):
+    ops = {row["op"] for row in payload["results"]}
+    assert ops == set(bench.OPS)
+    assert payload["schema_version"] == bench.SCHEMA_VERSION
+    assert payload["seed"] == 3
+    assert payload["smoke"] is True
+
+
+def test_payload_has_no_wall_clock_state(payload):
+    # Reproducibility contract: rerunning with the same seed must produce a
+    # payload that differs only in measured durations — no timestamps.
+    text = json.dumps(payload)
+    for banned in ("timestamp", "created_at", "wall_clock"):
+        assert banned not in text
+
+
+def test_summary_reports_largest_size(payload):
+    assert "bo_iteration_n6_speedup" in payload["summary"]
+    assert "candidate_pool_n32_speedup" in payload["summary"]
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda p: p.update(schema_version=2), "schema_version"),
+        (lambda p: p.pop("seed"), "seed"),
+        (lambda p: p.update(results=[]), "non-empty"),
+        (lambda p: p["results"][0].update(op="warp_drive"), "op"),
+        (lambda p: p["results"][0].update(baseline_seconds=-1.0), "baseline_seconds"),
+        (lambda p: p["results"][0].update(n="six"), ".n"),
+        (lambda p: p.update(sizes=[0]), "sizes"),
+        (lambda p: p["env"].pop("numpy"), "env.numpy"),
+        (lambda p: p["summary"].update(bogus="text"), "summary.bogus"),
+    ],
+)
+def test_validator_catches_broken_payloads(payload, mutate, fragment):
+    broken = json.loads(json.dumps(payload))  # deep copy
+    mutate(broken)
+    errors = bench.validate_payload(broken)
+    assert errors, f"mutation {fragment!r} was not caught"
+    assert any(fragment in e for e in errors)
+
+
+def test_validator_rejects_non_object():
+    assert bench.validate_payload([1, 2, 3]) == ["payload is not a JSON object"]
+
+
+def test_cli_smoke_and_validate_round_trip(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = bench.main(
+        ["--smoke", "--sizes", "6", "--repeats", "1", "--seed", "3", "--out", str(out)]
+    )
+    assert code == 0
+    assert out.exists()
+    assert bench.main(["--validate", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "schema OK" in captured.out
+
+
+def test_cli_validate_rejects_broken_file(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema_version": 0}))
+    assert bench.main(["--validate", str(bad)]) == 1
+    assert "schema violation" in capsys.readouterr().err
+
+
+def test_cli_validate_missing_file(tmp_path, capsys):
+    assert bench.main(["--validate", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_tracked_payload_is_valid():
+    """The committed BENCH_PR4.json must always pass its own schema."""
+    from pathlib import Path
+
+    tracked = Path(__file__).resolve().parents[2] / "benchmarks" / "perf" / "BENCH_PR4.json"
+    assert tracked.exists(), "benchmarks/perf/BENCH_PR4.json is missing"
+    assert bench.validate_payload(json.loads(tracked.read_text())) == []
