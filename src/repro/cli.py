@@ -92,8 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         default=None,
         dest="telemetry",
-        help="append per-run JSONL telemetry records to this file "
+        help="stream per-attempt JSONL telemetry records to this file "
         "(fig9 only)",
+    )
+    exp.add_argument(
+        "--checkpoint",
+        default=None,
+        dest="checkpoint",
+        help="append completed runs to this JSONL checkpoint and resume "
+        "from it: re-running an interrupted study with the same seed and "
+        "scale skips every run already on file (fig9 only)",
     )
 
     return parser
@@ -250,7 +258,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
     elif name == "fig9":
         rows = overhead_comparison(
-            scale=scale, seed=args.seed, n_workers=workers, telemetry_path=args.telemetry
+            scale=scale,
+            seed=args.seed,
+            n_workers=workers,
+            telemetry_path=args.telemetry,
+            checkpoint_path=args.checkpoint,
         )
         print(
             format_table(

@@ -163,6 +163,7 @@ def overhead_comparison(
     seed: int = 17,
     n_workers: int = 1,
     telemetry_path: str | None = None,
+    checkpoint_path: str | None = None,
 ) -> list[OverheadRow]:
     """Figure 9: suggestion wall-time per iteration over the medium space.
 
@@ -170,7 +171,9 @@ def overhead_comparison(
     iteration, so their overhead grows superlinearly; forest/parzen/RL
     methods stay near-constant.  ``telemetry_path`` appends the per-run
     JSONL records (suggest/eval wall-time, failures, simulated hours)
-    that this figure's analysis is derived from.
+    that this figure's analysis is derived from.  ``checkpoint_path``
+    makes the study resumable: an interrupted invocation re-run with the
+    same arguments skips every optimizer's already-completed run.
     """
     scale = scale or bench_scale()
     iters = n_iterations if n_iterations is not None else min(3 * scale.n_iterations, 400)
@@ -193,6 +196,7 @@ def overhead_comparison(
             seed=seed,
             n_workers=n_workers,
             telemetry_path=telemetry_path,
+            checkpoint_path=checkpoint_path,
         )
         times = [o.suggest_seconds for o in histories[0]]
         rows.append(

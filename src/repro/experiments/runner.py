@@ -79,13 +79,17 @@ def run_sessions(
     seed: int = 0,
     n_workers: int = 1,
     telemetry_path: str | None = None,
+    checkpoint_path: str | None = None,
 ) -> list[History]:
     """Run repeated tuning sessions (fresh server + optimizer per run).
 
     For a fixed ``seed`` the returned histories are identical for every
     ``n_workers``; a run whose worker crashes is retried once and, if it
     fails again, dropped from the result with a warning instead of
-    aborting the study.
+    aborting the study.  ``checkpoint_path`` makes completed runs durable:
+    each is appended to the :class:`~repro.parallel.StudyCheckpoint` the
+    moment it finishes, and a re-invocation with the same arguments and
+    path resumes the study, skipping every run already on file.
     """
     specs = build_session_specs(
         workload,
@@ -97,7 +101,11 @@ def run_sessions(
         instance=instance,
         seed=seed,
     )
-    executor = ParallelExecutor(n_workers=n_workers, telemetry_path=telemetry_path)
+    executor = ParallelExecutor(
+        n_workers=n_workers,
+        telemetry_path=telemetry_path,
+        checkpoint_path=checkpoint_path,
+    )
     results = executor.run(specs)
     dead = [r for r in results if r.history is None]
     if dead:

@@ -3,7 +3,7 @@
 Every evaluation artifact in the reproduction boils down to a batch of
 fully independent ``(server, optimizer, session)`` runs.  This package
 fans those runs out over a process pool while keeping them bit-identical
-to serial execution:
+to serial execution — and keeps the work durable when workers die:
 
 - :mod:`repro.parallel.spec` describes one run (:class:`RunSpec`) and its
   outcome (:class:`RunResult`), and derives per-run seeds from a single
@@ -12,14 +12,39 @@ to serial execution:
   stream are statistically independent *and* independent of the execution
   order.
 - :mod:`repro.parallel.executor` schedules specs onto a
-  ``ProcessPoolExecutor``; a crashed worker only fails its own run, which
-  is retried once on a freshly spawned pool after a jittered backoff.
-- :mod:`repro.parallel.telemetry` appends one JSON line per finished run
-  (suggest/eval wall-time, failure counts, simulated hours) — the raw
-  data behind the Figure 9 overhead analysis.
+  ``ProcessPoolExecutor``, harvesting futures as they complete.  A broken
+  pool costs only the run on the dead worker (charged a retryable failed
+  attempt); results that completed before the break are preserved via the
+  worker-side attempt journal, and unstarted runs are resubmitted on a
+  fresh pool free of charge.
+- :mod:`repro.parallel.telemetry` streams one JSON line per finished run
+  *attempt* the moment it completes (plus per-run ``"final"`` records at
+  study end) — tailable, append-only, and readable past a torn final
+  line.
+- :mod:`repro.parallel.checkpoint` persists completed results to an
+  append-only :class:`StudyCheckpoint` keyed by a content hash of the
+  spec, so a killed study resumes without re-running finished work.
+- :mod:`repro.parallel.faults` injects deterministic worker deaths,
+  objective failures, and torn writes — the harness proving all of the
+  above.
 """
 
+from repro.parallel.checkpoint import (
+    StudyCheckpoint,
+    history_fingerprint,
+    record_to_result,
+    result_fingerprint,
+    result_to_record,
+    spec_key,
+)
 from repro.parallel.executor import ParallelExecutor, execute_run
+from repro.parallel.faults import (
+    FlakyEval,
+    InjectedFault,
+    WorkerKiller,
+    choose_victims,
+    truncate_tail,
+)
 from repro.parallel.spec import (
     RegistryOptimizerFactory,
     RunResult,
@@ -27,17 +52,38 @@ from repro.parallel.spec import (
     RunSpec,
     derive_run_seeds,
 )
-from repro.parallel.telemetry import read_telemetry, telemetry_record, write_telemetry
+from repro.parallel.telemetry import (
+    append_telemetry_record,
+    attempt_records,
+    final_records,
+    read_telemetry,
+    telemetry_record,
+    write_telemetry,
+)
 
 __all__ = [
+    "FlakyEval",
+    "InjectedFault",
     "ParallelExecutor",
     "RegistryOptimizerFactory",
     "RunResult",
     "RunSeeds",
     "RunSpec",
+    "StudyCheckpoint",
+    "WorkerKiller",
+    "append_telemetry_record",
+    "attempt_records",
+    "choose_victims",
     "derive_run_seeds",
     "execute_run",
+    "final_records",
+    "history_fingerprint",
     "read_telemetry",
+    "record_to_result",
+    "result_fingerprint",
+    "result_to_record",
+    "spec_key",
     "telemetry_record",
+    "truncate_tail",
     "write_telemetry",
 ]

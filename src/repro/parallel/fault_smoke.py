@@ -1,0 +1,14 @@
+"""CI entry point: ``python -m repro.parallel.fault_smoke``.
+
+A thin wrapper so the smoke can be launched with ``-m`` without runpy
+re-executing :mod:`repro.parallel.faults` (which the package __init__
+already imported).  See :func:`repro.parallel.faults.main` for what the
+round trip does and asserts.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.faults import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,263 @@
+"""Deterministic fault injection for the run scheduler.
+
+Fault tolerance that is only exercised by real outages is fiction.  This
+module injects the three failure modes the executor must contain, in a
+form tests can replay exactly:
+
+- :class:`WorkerKiller` — a picklable per-iteration hook
+  (``RunSpec.iteration_hook``) that hard-kills the worker process with
+  ``os._exit`` at a chosen iteration, breaking the process pool exactly
+  the way an OOM kill does.  Armed/disarmed through a filesystem marker
+  so "kill the first attempt only" survives the pool respawn.
+- :class:`FlakyEval` — wraps an objective and raises
+  :class:`InjectedFault` inside it for the first ``fail_attempts``
+  attempts (counted through a marker file, i.e. across processes), then
+  delegates transparently.  Exercises the soft-failure retry path.
+- :func:`truncate_tail` — chops bytes off a telemetry/checkpoint file,
+  simulating a crash mid-append (the torn final line readers must skip).
+
+:func:`choose_victims` derives the set of runs to sabotage from a seed,
+so fault placement is part of the experiment's deterministic identity.
+
+Run ``python -m repro.parallel.fault_smoke --out-dir <dir>`` for the CI
+fault-smoke: a kill-and-resume round trip of a small study that asserts
+checkpoint/resume equivalence and leaves the telemetry and checkpoint
+files behind as artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+#: Exit code used by injected worker deaths — distinguishable in process
+#: tables and in the executor's "worker died" error strings.
+KILLED_EXIT_CODE = 0x2B
+
+
+class InjectedFault(RuntimeError):
+    """An evaluation failure raised on purpose by a fault injector."""
+
+
+def _read_count(path: str) -> int:
+    if not os.path.exists(path):
+        return 0
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read().strip()
+    return int(text) if text else 0
+
+
+def _write_count(path: str, value: int) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(str(value))
+        fh.flush()
+
+
+@dataclass
+class WorkerKiller:
+    """Iteration hook that kills the worker process mid-run.
+
+    ``arm_dir`` holds the fired-marker: with ``once=True`` (the default)
+    the first attempt dies and every later attempt of the same run
+    survives — the canonical "transient worker death" the scheduler must
+    absorb without losing anyone else's work.  ``once=False`` kills every
+    attempt, modelling a run that deterministically takes its worker down
+    (e.g. an OOM-sized configuration).
+    """
+
+    at_iteration: int
+    arm_dir: str
+    label: str = "kill"
+    exit_code: int = KILLED_EXIT_CODE
+    once: bool = True
+
+    def _marker(self) -> str:
+        return os.path.join(self.arm_dir, f"{self.label}.fired")
+
+    def __call__(self, iteration: int, observation: Any) -> None:
+        if iteration != self.at_iteration:
+            return
+        marker = self._marker()
+        if self.once and os.path.exists(marker):
+            return
+        _write_count(marker, _read_count(marker) + 1)
+        # A hard death: no exception propagation, no cleanup, no flushing
+        # of the result back to the parent — exactly what the scheduler's
+        # attempt journal exists to survive.
+        os._exit(self.exit_code)
+
+
+@dataclass
+class FlakyEval:
+    """Objective wrapper that raises for the first ``fail_attempts`` calls.
+
+    The failure counter lives in ``arm_path`` on disk, so it keeps
+    counting across worker processes and pool respawns.  All other
+    attribute access (``direction``, ``score_of``, ``server``, the
+    session protocol methods) is delegated to the wrapped objective.
+    """
+
+    inner: Any
+    arm_path: str
+    fail_attempts: int = 1
+
+    def __call__(self, config: Any) -> Any:
+        fired = _read_count(self.arm_path)
+        if fired < self.fail_attempts:
+            _write_count(self.arm_path, fired + 1)
+            raise InjectedFault(
+                f"injected evaluation failure {fired + 1}/{self.fail_attempts}"
+            )
+        return self.inner(config)
+
+    def __getattr__(self, name: str) -> Any:
+        # ``__getattr__`` fires during unpickling before ``__dict__`` is
+        # restored; guard dunders and the delegate itself to avoid
+        # recursing into ourselves.
+        if name.startswith("__"):
+            raise AttributeError(name)
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+
+def truncate_tail(path: str, n_bytes: int = 7) -> None:
+    """Chop ``n_bytes`` off the end of a file (a crash mid-append)."""
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be >= 0")
+    size = os.path.getsize(path)
+    with open(path, "rb+") as fh:
+        fh.truncate(max(0, size - n_bytes))
+
+
+def choose_victims(seed: int, n_runs: int, n_victims: int = 1) -> list[int]:
+    """Seed-derived set of run indices to sabotage (sorted, no repeats)."""
+    if not 0 <= n_victims <= n_runs:
+        raise ValueError("need 0 <= n_victims <= n_runs")
+    rng = np.random.default_rng(seed)
+    picked = rng.choice(n_runs, size=n_victims, replace=False)
+    return sorted(int(i) for i in picked)
+
+
+# ----------------------------------------------------------------------
+# CI fault-smoke: kill-and-resume round trip
+# ----------------------------------------------------------------------
+def _smoke_specs(seed: int, n_runs: int, n_iterations: int):
+    from repro.dbms.catalog import mysql_knob_space
+    from repro.experiments.runner import build_session_specs
+    from repro.parallel.spec import RegistryOptimizerFactory
+
+    space = mysql_knob_space(
+        "B",
+        knob_names=["innodb_flush_log_at_trx_commit", "innodb_log_file_size"],
+        seed=seed,
+    )
+    return build_session_specs(
+        "SYSBENCH",
+        space,
+        RegistryOptimizerFactory("random"),
+        n_runs=n_runs,
+        n_iterations=n_iterations,
+        n_initial=2,
+        seed=seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Kill a study mid-flight, resume it, and assert bit-equivalence.
+
+    Phase 1 runs the study with a fault injector that keeps killing the
+    victim run's worker while ``max_retries=0``, so the study ends with
+    the victim failed and everyone else's completed results checkpointed
+    — the state a study killed by the operator would leave behind.
+    Phase 2 resumes from the checkpoint with the injector removed and
+    must (a) re-execute *only* the victim and (b) reproduce the
+    uninterrupted study's results fingerprint-for-fingerprint.
+    """
+    import argparse
+    import json
+
+    from repro.parallel.checkpoint import result_fingerprint
+    from repro.parallel.executor import ParallelExecutor
+    from repro.parallel.telemetry import attempt_records, read_telemetry
+
+    parser = argparse.ArgumentParser(prog="repro.parallel.faults")
+    parser.add_argument("--out-dir", required=True)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--n-runs", type=int, default=4)
+    parser.add_argument("--n-iterations", type=int, default=6)
+    parser.add_argument("--n-workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    checkpoint = os.path.join(args.out_dir, "checkpoint.jsonl")
+    victim = choose_victims(args.seed, args.n_runs, 1)[0]
+    print(f"fault-smoke: {args.n_runs} runs, victim run {victim}")
+
+    baseline = ParallelExecutor(n_workers=1).run(
+        _smoke_specs(args.seed, args.n_runs, args.n_iterations)
+    )
+    expected = [result_fingerprint(r) for r in baseline]
+
+    interrupted = _smoke_specs(args.seed, args.n_runs, args.n_iterations)
+    interrupted[victim].iteration_hook = WorkerKiller(
+        at_iteration=2, arm_dir=args.out_dir, label=f"smoke-{victim}", once=False
+    )
+    phase1 = ParallelExecutor(
+        n_workers=args.n_workers,
+        max_retries=0,
+        telemetry_path=os.path.join(args.out_dir, "telemetry-interrupted.jsonl"),
+        checkpoint_path=checkpoint,
+    ).run(interrupted)
+    survivors = [r for r in phase1 if not r.failed]
+    print(
+        f"phase 1: pool broken by run {victim}; "
+        f"{len(survivors)}/{args.n_runs} runs completed and checkpointed"
+    )
+    failures = []
+    if not phase1[victim].failed:
+        failures.append("victim was expected to fail in phase 1")
+    if any(r.failed for i, r in enumerate(phase1) if i != victim):
+        failures.append("a non-victim run failed in phase 1")
+
+    resumed_telemetry = os.path.join(args.out_dir, "telemetry-resumed.jsonl")
+    phase2 = ParallelExecutor(
+        n_workers=args.n_workers,
+        telemetry_path=resumed_telemetry,
+        checkpoint_path=checkpoint,
+    ).run(_smoke_specs(args.seed, args.n_runs, args.n_iterations))
+    resumed = [result_fingerprint(r) for r in phase2]
+    re_executed = sorted(
+        {r["run_index"] for r in attempt_records(read_telemetry(resumed_telemetry))}
+    )
+    print(f"phase 2: re-executed runs {re_executed}, expected [{victim}]")
+    if resumed != expected:
+        mismatched = [i for i, (a, b) in enumerate(zip(expected, resumed)) if a != b]
+        failures.append(f"resumed study diverged from baseline on runs {mismatched}")
+    if re_executed != [victim]:
+        failures.append(f"resume re-executed completed runs: {re_executed}")
+
+    summary = {
+        "victim": victim,
+        "survivors_phase1": len(survivors),
+        "re_executed": re_executed,
+        "equivalent": resumed == expected,
+        "failures": failures,
+    }
+    with open(os.path.join(args.out_dir, "summary.json"), "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("fault-smoke: OK" if not failures else "fault-smoke: FAILED")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -90,6 +90,14 @@ class RunSpec:
     :class:`~repro.tuning.objective.DatabaseObjective` over a fresh
     ``MySQLServer(workload, instance, seed=server_seed)``; passing an
     objective (e.g. a surrogate) overrides that.
+
+    ``iteration_hook`` is an optional picklable callable
+    ``(iteration, observation) -> None`` invoked after every session
+    evaluation inside the worker — the attachment point for per-iteration
+    progress journaling and for the fault injectors in
+    :mod:`repro.parallel.faults`.  Hooks are observers: they must not
+    change the run's results, and they are excluded from the content key
+    used by checkpoint/resume (see :func:`repro.parallel.spec_key`).
     """
 
     run_index: int
@@ -105,6 +113,7 @@ class RunSpec:
     optimizer_seed: int = 0
     session_seed: int | None = None
     warm_start: list[Observation] | None = None
+    iteration_hook: Any = None
     tags: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -39,6 +39,7 @@ class TuningSession:
         n_initial: int = 10,
         seed: int | None = None,
         warm_start: list[Observation] | None = None,
+        on_iteration=None,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
@@ -53,6 +54,12 @@ class TuningSession:
         n_warm = len(warm_start) if warm_start else 0
         self.n_initial = max(0, n_initial - n_warm) if optimizer.uses_lhs_init else 0
         self.seed = seed
+        # Constructor-level per-iteration observer: unlike ``run``'s
+        # ``callback`` argument it can be threaded through code that never
+        # calls ``run`` itself (e.g. a RunSpec's ``iteration_hook``, which
+        # checkpoints progress or injects faults at iteration granularity).
+        # Observers must not mutate the observation or the history.
+        self.on_iteration = on_iteration
         self.history = History(space)
         if warm_start:
             for obs in warm_start:
@@ -90,6 +97,8 @@ class TuningSession:
             self._record(obs, suggest_seconds)
             if callback is not None:
                 callback(i, obs)
+            if self.on_iteration is not None:
+                self.on_iteration(i, obs)
         return self.history
 
     # ------------------------------------------------------------------

@@ -1,0 +1,205 @@
+"""Checkpoint/resume tests: durability without re-execution.
+
+The acceptance bar: a study interrupted mid-flight (injected worker
+death after k runs completed) and resumed via its checkpoint yields run
+results byte-identical to the uninterrupted study, with per-attempt
+telemetry showing that no completed run was re-executed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.dbms.catalog import mysql_knob_space
+from repro.parallel import (
+    ParallelExecutor,
+    RegistryOptimizerFactory,
+    StudyCheckpoint,
+    WorkerKiller,
+    attempt_records,
+    history_fingerprint,
+    read_telemetry,
+    record_to_result,
+    result_fingerprint,
+    result_to_record,
+    spec_key,
+    truncate_tail,
+)
+from repro.parallel.checkpoint import record_to_history
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return mysql_knob_space(
+        "B",
+        knob_names=["innodb_flush_log_at_trx_commit", "innodb_log_file_size"],
+        seed=0,
+    )
+
+
+def _specs(space, n_runs=4, n_iterations=5, seed=31):
+    from repro.experiments.runner import build_session_specs
+
+    return build_session_specs(
+        "SYSBENCH",
+        space,
+        RegistryOptimizerFactory("random"),
+        n_runs=n_runs,
+        n_iterations=n_iterations,
+        n_initial=2,
+        seed=seed,
+    )
+
+
+class TestSpecKey:
+    def test_stable_across_rebuilds(self, small_space):
+        # Two independently materialized spec lists (same arguments) must
+        # produce identical keys — that is what makes resume work across
+        # process restarts.
+        a = [spec_key(s) for s in _specs(small_space)]
+        b = [spec_key(s) for s in _specs(small_space)]
+        assert a == b
+        assert len(set(a)) == len(a)
+
+    def test_sensitive_to_content(self, small_space):
+        base = spec_key(_specs(small_space)[0])
+        assert spec_key(_specs(small_space, seed=32)[0]) != base
+        assert spec_key(_specs(small_space, n_iterations=6)[0]) != base
+
+    def test_insensitive_to_hooks_and_tags(self, small_space, tmp_path):
+        plain = _specs(small_space)[0]
+        base = spec_key(plain)
+        hooked = _specs(small_space)[0]
+        hooked.iteration_hook = WorkerKiller(at_iteration=0, arm_dir=str(tmp_path))
+        hooked.tags["extra"] = "display-only"
+        # Observers and display metadata don't change what the run
+        # computes, so a study resumed without its injectors still matches.
+        assert spec_key(hooked) == base
+
+
+class TestResultRoundTrip:
+    def test_value_exact(self, small_space):
+        result = ParallelExecutor(n_workers=1).run(_specs(small_space, n_runs=1))[0]
+        record = json.loads(json.dumps(result_to_record(result)))
+        loaded = record_to_result(record, small_space)
+        assert result_fingerprint(loaded) == result_fingerprint(result)
+        assert loaded.wall_seconds == result.wall_seconds
+        assert loaded.attempts == result.attempts
+        assert len(loaded.history) == len(result.history)
+        for a, b in zip(loaded.history, result.history):
+            assert a.config == b.config
+            assert a.score == b.score
+            assert a.objective == b.objective
+            assert a.iteration == b.iteration
+
+    def test_history_fingerprint_ignores_host_timing(self, small_space):
+        result = ParallelExecutor(n_workers=1).run(_specs(small_space, n_runs=1))[0]
+        record = result_to_record(result)
+        for obs in record["history"]["observations"]:
+            obs["suggest_seconds"] = obs["suggest_seconds"] + 1.0
+        retimed = record_to_history(record["history"], small_space)
+        assert history_fingerprint(retimed) == history_fingerprint(result.history)
+
+
+class TestStudyCheckpoint:
+    def test_record_and_get(self, small_space, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        spec = _specs(small_space, n_runs=1)[0]
+        result = ParallelExecutor(n_workers=1).run([spec])[0]
+        checkpoint = StudyCheckpoint(path)
+        key = spec_key(spec)
+        assert checkpoint.get(key, small_space) is None
+        checkpoint.record(key, result)
+        loaded = checkpoint.get(key, small_space)
+        assert result_fingerprint(loaded) == result_fingerprint(result)
+
+    def test_failed_results_are_not_recorded(self, small_space, tmp_path):
+        from repro.parallel.spec import RunResult
+
+        checkpoint = StudyCheckpoint(str(tmp_path / "ck.jsonl"))
+        checkpoint.record("key", RunResult(run_index=0, failed=True, error="x"))
+        assert not checkpoint.exists()
+
+    def test_torn_final_line_is_skipped(self, small_space, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        specs = _specs(small_space, n_runs=2)
+        ParallelExecutor(n_workers=1, checkpoint_path=path).run(specs)
+        truncate_tail(path, n_bytes=25)
+        with pytest.warns(RuntimeWarning, match="torn final checkpoint line"):
+            cache = StudyCheckpoint(path).load()
+        assert set(cache) == {spec_key(specs[0])}
+
+
+class TestResume:
+    def test_completed_runs_are_not_reexecuted(self, small_space, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        first = ParallelExecutor(n_workers=1, checkpoint_path=path).run(
+            _specs(small_space)
+        )
+        telemetry = str(tmp_path / "resumed.jsonl")
+        second = ParallelExecutor(
+            n_workers=2, checkpoint_path=path, telemetry_path=telemetry
+        ).run(_specs(small_space))
+        assert [result_fingerprint(r) for r in second] == [
+            result_fingerprint(r) for r in first
+        ]
+        # No attempt records: the whole study came from the checkpoint —
+        # but the final-state telemetry block is still complete.
+        records = read_telemetry(telemetry)
+        assert attempt_records(records) == []
+        assert len(records) == 4
+
+    def test_explicit_resume_from_without_write_path(self, small_space, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        ParallelExecutor(n_workers=1, checkpoint_path=path).run(_specs(small_space))
+        size_before = os.path.getsize(path)
+        results = ParallelExecutor(n_workers=1).run(
+            _specs(small_space), resume_from=path
+        )
+        assert not any(r.failed for r in results)
+        assert os.path.getsize(path) == size_before  # read-only resume
+
+    def test_kill_and_resume_equivalence(self, small_space, tmp_path):
+        """Acceptance criterion: interrupt, resume, compare byte-for-byte.
+
+        Phase 1 keeps killing the victim's worker with ``max_retries=0``,
+        leaving a checkpoint holding exactly the completed runs — the
+        state of a study whose operator pulled the plug.  Phase 2 resumes
+        with the injector gone: only the victim may execute, and the full
+        result set must match the uninterrupted baseline exactly.
+        """
+        baseline = ParallelExecutor(n_workers=1).run(_specs(small_space))
+        expected = [result_fingerprint(r) for r in baseline]
+
+        checkpoint = str(tmp_path / "ck.jsonl")
+        victim = 1
+        interrupted = _specs(small_space)
+        interrupted[victim].iteration_hook = WorkerKiller(
+            at_iteration=2, arm_dir=str(tmp_path), label="kill-resume", once=False
+        )
+        phase1 = ParallelExecutor(
+            n_workers=2, max_retries=0, checkpoint_path=checkpoint
+        ).run(interrupted)
+        assert phase1[victim].failed and "worker died" in phase1[victim].error
+        completed = {i for i, r in enumerate(phase1) if not r.failed}
+        assert completed == {0, 2, 3}
+
+        telemetry = str(tmp_path / "resumed.jsonl")
+        phase2 = ParallelExecutor(
+            n_workers=2, checkpoint_path=checkpoint, telemetry_path=telemetry
+        ).run(_specs(small_space))
+
+        assert [result_fingerprint(r) for r in phase2] == expected
+        re_executed = {
+            r["run_index"] for r in attempt_records(read_telemetry(telemetry))
+        }
+        assert re_executed == {victim}
+        # the resumed study's checkpoint is now complete: a third
+        # invocation re-executes nothing at all
+        phase3 = ParallelExecutor(n_workers=1, checkpoint_path=checkpoint).run(
+            _specs(small_space)
+        )
+        assert [result_fingerprint(r) for r in phase3] == expected
