@@ -63,6 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--top-knobs", type=int, default=20, dest="top_knobs")
     tune.add_argument("--pool-samples", type=int, default=600, dest="pool_samples")
     tune.add_argument("--seed", type=int, default=17)
+    tune.add_argument(
+        "--eval-timeout",
+        type=float,
+        default=None,
+        dest="eval_timeout",
+        help="wall-clock deadline (seconds) per evaluation; exceeding it "
+        "records a TIMEOUT failure instead of hanging the session "
+        "(enables the resilience guard)",
+    )
+    tune.add_argument(
+        "--max-sim-hours",
+        type=float,
+        default=None,
+        dest="max_sim_hours",
+        help="stop the session once this much simulated wall-clock is "
+        "consumed, whichever of iterations/budget comes first",
+    )
+    tune.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="guard the objective with crash quarantine: after repeated "
+        "crashes in an encoded-space neighbourhood, configurations there "
+        "are failed immediately at zero simulated cost",
+    )
 
     rank = sub.add_parser("rank", help="rank knobs by importance")
     rank.add_argument("--workload", default="SYSBENCH", choices=sorted(ALL_WORKLOADS))
@@ -116,13 +140,26 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     space = mysql_knob_space(args.instance, knob_names=ranked[: args.top_knobs], seed=args.seed)
     server = MySQLServer(args.workload, args.instance, seed=args.seed)
     optimizer = OPTIMIZER_REGISTRY[args.optimizer](space, seed=args.seed)
+    objective = DatabaseObjective(server, space)
+    guard = None
+    if args.eval_timeout is not None or args.quarantine:
+        from repro.resilience import GuardedObjective, GuardPolicy
+
+        policy = GuardPolicy(
+            eval_timeout_seconds=args.eval_timeout,
+            quarantine_enabled=args.quarantine,
+        )
+        objective = guard = GuardedObjective(
+            objective, space, policy=policy, seed=args.seed
+        )
     session = TuningSession(
-        DatabaseObjective(server, space),
+        objective,
         optimizer,
         space,
         max_iterations=args.iterations,
         n_initial=10,
         seed=args.seed,
+        max_simulated_hours=args.max_sim_hours,
     )
     print(
         f"tuning {args.workload} on instance {args.instance} with "
@@ -138,7 +175,23 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(f"\nbest objective : {best.objective:.1f} {unit}")
     print(f"improvement    : {improvement * 100:+.1f}% over the MySQL default")
     print(f"found at iter  : {best.iteration + 1}/{len(history)}")
-    print(f"failed configs : {server.n_failures}")
+    failure_summary = history.failure_summary()
+    breakdown = (
+        " (" + ", ".join(f"{k}: {v}" for k, v in failure_summary.items()) + ")"
+        if failure_summary
+        else ""
+    )
+    print(f"failed configs : {sum(failure_summary.values())}{breakdown}")
+    print(f"stopped because: {session.stop_reason}")
+    print(f"simulated time : {session.total_simulated_hours():.2f} h")
+    if guard is not None:
+        gs = guard.summary()
+        print(
+            f"guard          : {gs['n_retries']} retries, "
+            f"{gs['n_quarantine_regions']} quarantined region(s), "
+            f"{gs['n_short_circuits']} short-circuited eval(s), "
+            f"{gs['breaker_trips']} breaker trip(s)"
+        )
     print("\nbest-so-far trajectory (score):")
     print(trajectory_chart({args.optimizer: history.best_score_trajectory().tolist()}))
     print("\nbest configuration:")

@@ -34,6 +34,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.dbms.instances import GIB, HardwareInstance
+from repro.resilience.taxonomy import FailureKind
 from repro.workloads.profiles import WorkloadProfile
 
 KB = 1024
@@ -42,8 +43,12 @@ GB = 1024**3
 PAGE = 16 * KB
 
 # --- tunable model constants (ablation hooks) ---------------------------
-#: Memory fraction above which the DBMS fails to start (OOM crash).
+#: Memory fraction above which the stress test OOM-crashes the DBMS.
 OOM_FRACTION = 0.95
+#: Memory fraction above which the DBMS cannot even allocate its buffers:
+#: startup itself fails (§4.1's "unable to start") rather than the OOM
+#: killer reaping mysqld mid-stress.
+UNSTARTABLE_FRACTION = 1.10
 #: Memory fraction above which swapping degrades performance.
 SWAP_FRACTION = 0.80
 #: Base server memory footprint outside of configured buffers.
@@ -82,11 +87,16 @@ def _sat(x: float) -> float:
 
 @dataclass
 class EngineResult:
-    """Outcome of one simulated stress test."""
+    """Outcome of one simulated stress test.
+
+    ``failure_kind`` classifies failures into the taxonomy of
+    :mod:`repro.resilience.taxonomy` (``None`` on success).
+    """
 
     objective: float
     failed: bool
     failure_reason: str | None
+    failure_kind: FailureKind | None = None
     metrics: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -120,9 +130,15 @@ class PerformanceModel:
         normalized so the default configuration reproduces the workload's
         anchor value on this instance.
         """
-        failure = self._failure_reason(config, workload)
+        failure = self.classify_failure(config, workload)
         if failure is not None:
-            return EngineResult(objective=float("nan"), failed=True, failure_reason=failure)
+            reason, kind = failure
+            return EngineResult(
+                objective=float("nan"),
+                failed=True,
+                failure_reason=reason,
+                failure_kind=kind,
+            )
 
         raw, inter = self._raw_performance(config, workload)
         baseline = self._baseline(workload)
@@ -177,11 +193,32 @@ class PerformanceModel:
             + SERVER_BASE_BYTES
         )
 
-    def _failure_reason(
+    def classify_failure(
         self, config: Mapping[str, Any], workload: WorkloadProfile
-    ) -> str | None:
-        if self.memory_footprint(config, workload) > OOM_FRACTION * self.instance.ram_bytes:
-            return "oom: memory overcommit, mysqld killed during startup/stress"
+    ) -> tuple[str, FailureKind] | None:
+        """``(reason, kind)`` for a failing config, ``None`` when it runs.
+
+        The single memory-overcommit predicate splits into the paper's two
+        failure classes: allocation so far past physical RAM that startup
+        itself fails (``UNSTARTABLE``), versus a footprint that clears
+        startup but gets mysqld OOM-killed under workload pressure
+        (``CRASH``).  Both are deterministic functions of the config, so
+        neither is ever worth retrying.
+        """
+        footprint = self.memory_footprint(config, workload)
+        ram = self.instance.ram_bytes
+        if footprint > UNSTARTABLE_FRACTION * ram:
+            return (
+                "oom: memory overcommit, mysqld unable to start "
+                f"(footprint {footprint / ram:.2f}x RAM)",
+                FailureKind.UNSTARTABLE,
+            )
+        if footprint > OOM_FRACTION * ram:
+            return (
+                "oom: memory overcommit, mysqld killed during stress test "
+                f"(footprint {footprint / ram:.2f}x RAM)",
+                FailureKind.CRASH,
+            )
         return None
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.dbms.engine import EngineResult, PerformanceModel
 from repro.dbms.instances import INSTANCES, HardwareInstance
+from repro.resilience.taxonomy import FailureKind
 from repro.space import Configuration, ConfigurationSpace
 from repro.workloads.profiles import WorkloadProfile, get_workload
 
@@ -34,6 +35,7 @@ class StressTestResult:
     objective: float
     failed: bool
     failure_reason: str | None
+    failure_kind: FailureKind | None = None
     metrics: dict[str, float] = field(default_factory=dict)
     simulated_seconds: float = RESTART_SECONDS + STRESS_TEST_SECONDS
 
@@ -74,6 +76,10 @@ class MySQLServer:
         self.total_simulated_seconds = 0.0
         self.n_evaluations = 0
         self.n_failures = 0
+        # Per-kind failure counts (FailureKind value -> count).  Like
+        # n_failures these ratchet for the server's lifetime; per-session
+        # accounting lives in History.failure_summary().
+        self.failure_counts: dict[str, int] = {}
 
     @property
     def full_space(self) -> ConfigurationSpace:
@@ -106,6 +112,10 @@ class MySQLServer:
         self.n_evaluations += 1
         if result.failed:
             self.n_failures += 1
+            kind_key = (
+                result.failure_kind.value if result.failure_kind is not None else "unclassified"
+            )
+            self.failure_counts[kind_key] = self.failure_counts.get(kind_key, 0) + 1
             # A crashed/unstartable DBMS still costs the restart attempt.
             simulated = RESTART_SECONDS
         else:
@@ -116,6 +126,7 @@ class MySQLServer:
             objective=result.objective,
             failed=result.failed,
             failure_reason=result.failure_reason,
+            failure_kind=result.failure_kind,
             metrics=result.metrics,
             simulated_seconds=simulated,
         )

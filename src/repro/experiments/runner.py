@@ -33,6 +33,8 @@ def build_session_specs(
     n_initial: int = 10,
     instance: str = "B",
     seed: int = 0,
+    max_simulated_hours: float | None = None,
+    guard=None,
 ) -> list[RunSpec]:
     """One spec per run, with independent per-run seed triples.
 
@@ -40,7 +42,11 @@ def build_session_specs(
     the session's LHS stream are spawned from disjoint ``SeedSequence``
     children — they were previously derived by integer offsets from the
     same root, which made run 0's server and optimizer share the exact
-    seed value and correlate their streams.
+    seed value and correlate their streams.  ``guard`` (a
+    :class:`repro.resilience.GuardPolicy`) wraps every run's objective in
+    a :class:`~repro.resilience.GuardedObjective` seeded from the run's
+    fourth seed stream; ``max_simulated_hours`` bounds each session's
+    simulated wall-clock alongside its iteration budget.
     """
     seeds = derive_run_seeds(seed, n_runs)
     return [
@@ -55,6 +61,9 @@ def build_session_specs(
             server_seed=seeds[run].server,
             optimizer_seed=seeds[run].optimizer,
             session_seed=seeds[run].session,
+            max_simulated_hours=max_simulated_hours,
+            guard=guard,
+            guard_seed=seeds[run].guard,
             tags={
                 "workload": workload,
                 "instance": instance,
@@ -80,6 +89,8 @@ def run_sessions(
     n_workers: int = 1,
     telemetry_path: str | None = None,
     checkpoint_path: str | None = None,
+    max_simulated_hours: float | None = None,
+    guard=None,
 ) -> list[History]:
     """Run repeated tuning sessions (fresh server + optimizer per run).
 
@@ -100,6 +111,8 @@ def run_sessions(
         n_initial=n_initial,
         instance=instance,
         seed=seed,
+        max_simulated_hours=max_simulated_hours,
+        guard=guard,
     )
     executor = ParallelExecutor(
         n_workers=n_workers,
@@ -122,6 +135,20 @@ def run_sessions(
 def count_failed_runs(histories: list[History]) -> int:
     """Runs that never produced a successful observation."""
     return sum(1 for h in histories if not h.successful())
+
+
+def study_failure_summary(histories: list[History]) -> dict[str, int]:
+    """Aggregate per-kind failure counts across a study's sessions.
+
+    Sums each history's :meth:`~repro.optimizers.base.History.failure_summary`
+    — the per-session accounting (``MySQLServer.n_failures`` ratchets for
+    the server's whole lifetime and cannot be attributed to a session).
+    """
+    totals: dict[str, int] = {}
+    for h in histories:
+        for kind, count in h.failure_summary().items():
+            totals[kind] = totals.get(kind, 0) + count
+    return dict(sorted(totals.items()))
 
 
 def median_improvement(

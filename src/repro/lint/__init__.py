@@ -25,6 +25,8 @@ R006      Bare ``except:`` and ``except Exception: pass`` handlers that
 R007      Wall-clock reads (``time.time()``, ``datetime.now()``) in
           result-producing code.
 R008      Float ``==``/``!=`` against non-sentinel literals.
+R009      Catch-all ``except`` handlers that neither re-raise nor record
+          a classified failure (Observation / RunResult / FailureKind).
 ========  =============================================================
 
 Findings are suppressed inline with ``# reprolint: disable=RXXX <reason>``;

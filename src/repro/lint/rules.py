@@ -553,6 +553,56 @@ class FloatEquality(Rule):
                         break
 
 
+# ======================================================================
+@register
+class UnclassifiedExceptionHandler(Rule):
+    id = "R009"
+    name = "unclassified-exception-handler"
+    summary = (
+        "catch-all `except` handler that neither re-raises nor records a "
+        "classified failure (Observation / RunResult / FailureKind)"
+    )
+
+    #: Lower-cased substrings of a terminal call name that indicate the
+    #: handler converts the exception into recorded failure state rather
+    #: than swallowing it (e.g. ``RunResult``, ``_failed_obs``,
+    #: ``Observation``, ``FailureKind``, ``_worker_death_result``).
+    _FAILURE_TOKENS = ("observation", "obs", "result", "failure")
+
+    @classmethod
+    def _records_failure(cls, body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attribute_chain(node.func)
+                if not chain:
+                    continue
+                terminal = chain[-1].lower()
+                if any(token in terminal for token in cls._FAILURE_TOKENS):
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not SwallowedException._catches_everything(node):
+                continue
+            if self._records_failure(node.body):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "catch-all handler neither re-raises nor records the failure "
+                "as an Observation/RunResult/FailureKind; classify the "
+                "failure (or suppress with a reason explaining why losing "
+                "it is safe)",
+            )
+
+
 def all_rule_ids() -> list[str]:
     from repro.lint.registry import RULES
 

@@ -13,6 +13,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.resilience.taxonomy import FailureKind
 from repro.space import Configuration, ConfigurationSpace
 
 
@@ -23,6 +24,12 @@ class Observation:
     ``score`` is always a *maximization* target: throughput objectives use
     the raw value, latency objectives are negated, and failed evaluations
     are clamped to the worst score seen so far (paper §4.1).
+
+    ``failure_kind`` classifies failed evaluations (``None`` for
+    successes and for legacy records that predate the taxonomy);
+    ``eval_attempts`` counts how many times the guarded evaluation layer
+    called the objective for this observation (1 without retries) — part
+    of the deterministic retry accounting fingerprints assert on.
     """
 
     config: Configuration
@@ -30,10 +37,12 @@ class Observation:
     score: float
     failed: bool = False
     failure_reason: str | None = None
+    failure_kind: FailureKind | None = None
     metrics: dict[str, float] = field(default_factory=dict)
     iteration: int = -1
     suggest_seconds: float = 0.0
     simulated_seconds: float = 0.0
+    eval_attempts: int = 1
 
 
 class History:
@@ -90,6 +99,23 @@ class History:
 
     def successful(self) -> list[Observation]:
         return [o for o in self._observations if not o.failed]
+
+    def failure_summary(self) -> dict[str, int]:
+        """Counts of failed observations keyed by :class:`FailureKind` value.
+
+        Per-session accounting (unlike ``MySQLServer.n_failures``, a
+        process-global ratchet that is never reset): keys are the wire
+        values of the taxonomy (``"crash"``, ``"timeout"``, ...), with
+        ``"unclassified"`` for failures recorded before the taxonomy
+        existed.  Empty when nothing failed.
+        """
+        counts: dict[str, int] = {}
+        for obs in self._observations:
+            if not obs.failed:
+                continue
+            key = obs.failure_kind.value if obs.failure_kind is not None else "unclassified"
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
 
     def worst_score(self) -> float | None:
         """Worst score among successful observations, if any."""

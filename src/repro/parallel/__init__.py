@@ -40,9 +40,13 @@ from repro.parallel.checkpoint import (
 from repro.parallel.executor import ParallelExecutor, execute_run
 from repro.parallel.faults import (
     FlakyEval,
+    HangingObjective,
     InjectedFault,
+    RaisingObjective,
+    TransientObjective,
     WorkerKiller,
     choose_victims,
+    transient_schedule,
     truncate_tail,
 )
 from repro.parallel.spec import (
@@ -63,13 +67,16 @@ from repro.parallel.telemetry import (
 
 __all__ = [
     "FlakyEval",
+    "HangingObjective",
     "InjectedFault",
     "ParallelExecutor",
+    "RaisingObjective",
     "RegistryOptimizerFactory",
     "RunResult",
     "RunSeeds",
     "RunSpec",
     "StudyCheckpoint",
+    "TransientObjective",
     "WorkerKiller",
     "append_telemetry_record",
     "attempt_records",
@@ -84,6 +91,7 @@ __all__ = [
     "result_to_record",
     "spec_key",
     "telemetry_record",
+    "transient_schedule",
     "truncate_tail",
     "write_telemetry",
 ]

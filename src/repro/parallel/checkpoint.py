@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.optimizers.base import History, Observation
 from repro.parallel.spec import RunResult, RunSpec
+from repro.resilience.taxonomy import FailureKind
 from repro.space import Configuration, ConfigurationSpace
 
 
@@ -117,6 +118,15 @@ def spec_key(spec: RunSpec) -> str:
         "objective": _describe(spec.objective),
         "warm_start": [observation_to_record(o) for o in spec.warm_start or []],
     }
+    # Budget and guard policy change a run's results, so they belong in
+    # the key — but only when set, so keys of pre-resilience specs (and
+    # their checkpoints) are unchanged.  ``guard_seed`` is excluded like
+    # ``iteration_hook``: backoff jitter affects wall-clock, not results.
+    if spec.max_simulated_hours is not None:
+        payload["max_simulated_hours"] = spec.max_simulated_hours
+    if spec.guard is not None:
+        describe = getattr(spec.guard, "describe", None)
+        payload["guard"] = describe() if describe is not None else _describe(spec.guard)
     return hashlib.sha256(_dumps(payload).encode("utf-8")).hexdigest()[:20]
 
 
@@ -124,7 +134,7 @@ def spec_key(spec: RunSpec) -> str:
 # result (de)serialization
 # ----------------------------------------------------------------------
 def observation_to_record(obs: Observation) -> dict[str, Any]:
-    return {
+    record = {
         "config": {k: obs.config[k] for k in sorted(obs.config)},
         "objective": obs.objective,
         "score": obs.score,
@@ -135,19 +145,33 @@ def observation_to_record(obs: Observation) -> dict[str, Any]:
         "suggest_seconds": obs.suggest_seconds,
         "simulated_seconds": obs.simulated_seconds,
     }
+    # Resilience fields appear only at non-default values: observations
+    # from unguarded runs serialize byte-identically to the pre-resilience
+    # format, so their history fingerprints (and spec keys of warm-started
+    # specs) are unchanged.
+    if obs.failure_kind is not None:
+        record["failure_kind"] = obs.failure_kind.value
+    if obs.eval_attempts != 1:
+        record["eval_attempts"] = obs.eval_attempts
+    return record
 
 
 def record_to_observation(record: dict[str, Any]) -> Observation:
+    # ``.get`` for fields that postdate the original record format, so
+    # checkpoints written before the resilience layer still load.
+    kind = record.get("failure_kind")
     return Observation(
         config=Configuration(record["config"]),
         objective=record["objective"],
         score=record["score"],
         failed=record["failed"],
         failure_reason=record["failure_reason"],
+        failure_kind=None if kind is None else FailureKind(kind),
         metrics=dict(record["metrics"]),
         iteration=record["iteration"],
         suggest_seconds=record["suggest_seconds"],
         simulated_seconds=record["simulated_seconds"],
+        eval_attempts=record.get("eval_attempts", 1),
     )
 
 
@@ -178,6 +202,8 @@ def result_to_record(result: RunResult) -> dict[str, Any]:
         "simulated_hours": result.simulated_hours,
         "n_iterations": result.n_iterations,
         "n_failed_evals": result.n_failed_evals,
+        "stop_reason": result.stop_reason,
+        "failure_kinds": result.failure_kinds,
         "tags": result.tags,
         "history": None if result.history is None else history_to_record(result.history),
     }
@@ -197,6 +223,8 @@ def record_to_result(record: dict[str, Any], space: ConfigurationSpace) -> RunRe
         simulated_hours=record["simulated_hours"],
         n_iterations=record["n_iterations"],
         n_failed_evals=record["n_failed_evals"],
+        stop_reason=record.get("stop_reason"),
+        failure_kinds=dict(record.get("failure_kinds") or {}),
         tags=dict(record["tags"]),
     )
 

@@ -110,6 +110,14 @@ def execute_run(spec: RunSpec) -> RunResult:
 
             server = MySQLServer(spec.workload, spec.instance, seed=spec.server_seed)
             objective = DatabaseObjective(server, spec.space)
+        if spec.guard is not None:
+            from repro.resilience.guard import GuardedObjective
+
+            # Guard inside the timer: watchdog/backoff wall-time is part
+            # of the evaluation cost the timer reports.
+            objective = GuardedObjective(
+                objective, spec.space, policy=spec.guard, seed=spec.guard_seed
+            )
         timed = _TimedObjective(objective)
         optimizer = spec.optimizer
         if optimizer is None:
@@ -123,6 +131,7 @@ def execute_run(spec: RunSpec) -> RunResult:
             seed=spec.session_seed,
             warm_start=spec.warm_start,
             on_iteration=spec.iteration_hook,
+            max_simulated_hours=spec.max_simulated_hours,
         )
         history = session.run()
         return RunResult(
@@ -134,6 +143,8 @@ def execute_run(spec: RunSpec) -> RunResult:
             simulated_hours=session.total_simulated_hours(),
             n_iterations=len(history),
             n_failed_evals=sum(1 for o in history if o.failed),
+            stop_reason=session.stop_reason,
+            failure_kinds=history.failure_summary(),
             tags=dict(spec.tags),
         )
     except Exception as exc:  # noqa: BLE001 — the whole point is containment
@@ -174,7 +185,7 @@ def _picklable(spec: RunSpec) -> bool:
     try:
         pickle.dumps(spec)
         return True
-    except Exception:  # noqa: BLE001 — anything unpicklable runs inline
+    except Exception:  # reprolint: disable=R009 probe only: unpicklable specs run inline, nothing is lost
         return False
 
 

@@ -28,7 +28,7 @@ files behind as artifacts.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -126,6 +126,128 @@ class FlakyEval:
         if inner is None:
             raise AttributeError(name)
         return getattr(inner, name)
+
+
+# ----------------------------------------------------------------------
+# objective-level chaos (exercises the GuardedObjective boundary)
+# ----------------------------------------------------------------------
+@dataclass
+class RaisingObjective:
+    """Objective wrapper that raises ``ValueError`` at chosen call indices.
+
+    Models a buggy objective (bad math, a crashing client library): the
+    exception escapes the objective itself and must be converted into an
+    ``EVALUATION_ERROR`` observation by the guard instead of killing the
+    session.  ``at_calls`` are 0-based call indices; ``always=True``
+    raises on every call.  The counter is in-memory: one session runs in
+    one process, so the schedule replays identically wherever (and however
+    often) the run executes.
+    """
+
+    inner: Any = field(repr=False)
+    at_calls: tuple[int, ...] = ()
+    always: bool = False
+    n_calls: int = field(default=0, repr=False, compare=False)
+
+    def __call__(self, config: Any) -> Any:
+        call = self.n_calls
+        self.n_calls = call + 1
+        if self.always or call in self.at_calls:
+            raise ValueError(f"injected objective bug at call {call}")
+        return self.inner(config)
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+
+@dataclass
+class HangingObjective:
+    """Objective wrapper that hangs (then dies) at chosen call indices.
+
+    Sleeps ``hang_seconds`` and raises :class:`InjectedFault` *without
+    ever calling the inner objective* — deliberately: the guard's
+    watchdog abandons the hung thread, and an abandoned thread that went
+    on to evaluate would advance the simulator's RNG concurrently with
+    the session, destroying determinism.  A hung call therefore consumes
+    no inner-objective state at all.
+    """
+
+    inner: Any = field(repr=False)
+    at_calls: tuple[int, ...] = ()
+    hang_seconds: float = 0.5
+    n_calls: int = field(default=0, repr=False, compare=False)
+
+    def __call__(self, config: Any) -> Any:
+        import time
+
+        call = self.n_calls
+        self.n_calls = call + 1
+        if call in self.at_calls:
+            time.sleep(self.hang_seconds)
+            raise InjectedFault(f"injected hang at call {call}")
+        return self.inner(config)
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+
+@dataclass
+class TransientObjective:
+    """Objective wrapper raising transient failures on a fixed schedule.
+
+    Raises :class:`repro.resilience.TransientEvaluationError` at the
+    0-based call indices in ``fail_calls`` (see
+    :func:`transient_schedule`).  The counter advances on retries too, so
+    a retried call lands on the *next* index and succeeds unless the
+    schedule says otherwise — natural flaky-infrastructure behaviour,
+    fully deterministic.
+    """
+
+    inner: Any = field(repr=False)
+    fail_calls: tuple[int, ...] = ()
+    n_calls: int = field(default=0, repr=False, compare=False)
+
+    def __call__(self, config: Any) -> Any:
+        from repro.resilience.taxonomy import TransientEvaluationError
+
+        call = self.n_calls
+        self.n_calls = call + 1
+        if call in self.fail_calls:
+            raise TransientEvaluationError(f"injected transient failure at call {call}")
+        return self.inner(config)
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+
+def transient_schedule(seed: int, n_calls: int, rate: float = 0.15) -> tuple[int, ...]:
+    """Seed-derived sorted call indices at which transient failures fire.
+
+    Like :func:`choose_victims`, the schedule is part of the experiment's
+    deterministic identity: the same seed produces the same flaky calls in
+    serial, parallel, and resumed executions.
+    """
+    if n_calls < 0:
+        raise ValueError("n_calls must be >= 0")
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    return tuple(int(i) for i in np.nonzero(rng.random(n_calls) < rate)[0])
 
 
 def truncate_tail(path: str, n_bytes: int = 7) -> None:

@@ -44,11 +44,19 @@ class RegistryOptimizerFactory:
 
 @dataclass(frozen=True)
 class RunSeeds:
-    """Independent integer seeds for the three random streams of one run."""
+    """Independent integer seeds for the random streams of one run.
+
+    ``guard`` seeds the resilience layer's retry-backoff jitter (see
+    :class:`repro.resilience.GuardedObjective`); it is derived as a
+    fourth grandchild of the run's SeedSequence child, which leaves the
+    original server/optimizer/session seeds byte-identical to what
+    three-way spawning produced (spawn keys are assigned sequentially).
+    """
 
     server: int
     optimizer: int
     session: int
+    guard: int = 0
 
 
 def _seed_int(seq: np.random.SeedSequence) -> int:
@@ -70,12 +78,17 @@ def derive_run_seeds(seed: int, n_runs: int) -> list[RunSeeds]:
         raise ValueError("n_runs must be >= 0")
     out: list[RunSeeds] = []
     for child in np.random.SeedSequence(seed).spawn(n_runs):
-        server_seq, optimizer_seq, session_seq = child.spawn(3)
+        # spawn(4) keeps the first three grandchildren identical to the
+        # historical spawn(3): spawn keys are sequential, so existing
+        # server/optimizer/session seeds (and every checkpoint keyed on
+        # them) are unchanged by the addition of the guard stream.
+        server_seq, optimizer_seq, session_seq, guard_seq = child.spawn(4)
         out.append(
             RunSeeds(
                 server=_seed_int(server_seq),
                 optimizer=_seed_int(optimizer_seq),
                 session=_seed_int(session_seq),
+                guard=_seed_int(guard_seq),
             )
         )
     return out
@@ -114,6 +127,17 @@ class RunSpec:
     session_seed: int | None = None
     warm_start: list[Observation] | None = None
     iteration_hook: Any = None
+    #: Optional simulated-hours stopping criterion forwarded to the
+    #: session (None preserves iteration-only stopping).
+    max_simulated_hours: float | None = None
+    #: Optional :class:`repro.resilience.GuardPolicy`; when set, the
+    #: worker wraps the objective in a GuardedObjective seeded with
+    #: ``guard_seed``.
+    guard: Any = None
+    #: Seed for the guard's retry-backoff jitter stream.  Excluded from
+    #: the checkpoint spec key: backoff affects wall-clock only, never
+    #: results.
+    guard_seed: int | None = None
     tags: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -121,6 +145,8 @@ class RunSpec:
             raise ValueError("set exactly one of optimizer / optimizer_factory")
         if self.n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
+        if self.max_simulated_hours is not None and self.max_simulated_hours <= 0:
+            raise ValueError("max_simulated_hours must be > 0")
 
 
 @dataclass
@@ -138,4 +164,10 @@ class RunResult:
     simulated_hours: float = 0.0
     n_iterations: int = 0
     n_failed_evals: int = 0
+    #: Why the session stopped ("max_iterations" / "simulated_budget");
+    #: None for results recorded before budget-aware sessions existed.
+    stop_reason: str | None = None
+    #: Per-session failure counts keyed by FailureKind value (see
+    #: ``History.failure_summary``); empty when nothing failed.
+    failure_kinds: dict[str, int] = field(default_factory=dict)
     tags: dict[str, Any] = field(default_factory=dict)

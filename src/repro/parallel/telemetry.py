@@ -57,6 +57,13 @@ def telemetry_record(
         record["attempt"] = attempt
     if result.error is not None:
         record["error"] = result.error.splitlines()[0]
+    # Resilience fields are included only when populated, so records for
+    # failed runs (no session ran) and pre-resilience results loaded from
+    # old checkpoints keep their historical shape.
+    if result.stop_reason is not None:
+        record["stop_reason"] = result.stop_reason
+    if result.failure_kinds:
+        record["failure_kinds"] = result.failure_kinds
     return record
 
 

@@ -1,0 +1,266 @@
+"""CI resilience-smoke: chaos round trips through the guarded boundary.
+
+Run ``python -m repro.resilience.smoke --out-dir <dir>``.  Four scenarios,
+each an end-to-end session (not a unit test) against the simulated DBMS:
+
+1. **raising** — a buggy objective that raises mid-session.  The guarded
+   session must complete its full iteration budget with every injected
+   exception classified as ``evaluation_error``.
+2. **hanging** — an objective that hangs past the guard's wall-clock
+   deadline.  The hung calls must come back as ``timeout`` failures and
+   the session must still finish.
+3. **transient determinism** — a seeded transient-failure schedule run
+   serially, in parallel, and through a kill-and-resume boundary; all
+   three must produce byte-identical history fingerprints, including the
+   retry (``eval_attempts``) accounting.
+4. **quarantine & budget** — crash a neighbourhood of the encoded space
+   until it is quarantined, then verify short-circuited evaluations cost
+   zero simulated seconds; and run a budget-bounded session that must
+   stop on ``simulated_budget`` with failed evaluations' restart cost
+   counted.
+
+Telemetry and checkpoint files are left in ``--out-dir`` as CI artifacts;
+exit code 0 iff every scenario held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.dbms.catalog import mysql_knob_space
+from repro.dbms.server import MySQLServer
+from repro.optimizers import OPTIMIZER_REGISTRY
+from repro.parallel.checkpoint import history_fingerprint
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.faults import (
+    HangingObjective,
+    RaisingObjective,
+    TransientObjective,
+    WorkerKiller,
+    choose_victims,
+    transient_schedule,
+)
+from repro.parallel.spec import RegistryOptimizerFactory, RunSpec, derive_run_seeds
+from repro.resilience.guard import GuardedObjective, GuardPolicy
+from repro.resilience.taxonomy import FailureKind
+from repro.tuning.objective import DatabaseObjective
+from repro.tuning.session import TuningSession
+
+
+def _space(seed: int, with_memory_knob: bool = False):
+    knobs = ["innodb_flush_log_at_trx_commit", "innodb_log_file_size"]
+    if with_memory_knob:
+        knobs.append("innodb_buffer_pool_size")
+    return mysql_knob_space("B", knob_names=knobs, seed=seed)
+
+
+def _session(objective, space, seed: int, n_iterations: int = 10, **kwargs) -> TuningSession:
+    optimizer = OPTIMIZER_REGISTRY["random"](space, seed=seed)
+    return TuningSession(
+        objective,
+        optimizer,
+        space,
+        max_iterations=n_iterations,
+        n_initial=2,
+        seed=seed,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+def scenario_raising(seed: int, failures: list[str]) -> dict:
+    space = _space(seed)
+    server = MySQLServer("SYSBENCH", "B", seed=seed)
+    chaos = RaisingObjective(DatabaseObjective(server, space), at_calls=(2, 5, 6))
+    guarded = GuardedObjective(chaos, space, policy=GuardPolicy(), seed=seed)
+    history = _session(guarded, space, seed, n_iterations=10).run()
+    summary = history.failure_summary()
+    if len(history) != 10:
+        failures.append(f"raising: session stopped at {len(history)}/10 iterations")
+    if summary.get("evaluation_error", 0) != 3:
+        failures.append(f"raising: expected 3 evaluation_error failures, got {summary}")
+    import math
+
+    if any(o.failed and math.isnan(o.score) for o in history):
+        failures.append("raising: failed observations were not clamped (NaN scores)")
+    return {"iterations": len(history), "failure_summary": summary}
+
+
+def scenario_hanging(seed: int, failures: list[str]) -> dict:
+    space = _space(seed)
+    server = MySQLServer("SYSBENCH", "B", seed=seed)
+    chaos = HangingObjective(
+        DatabaseObjective(server, space), at_calls=(3,), hang_seconds=0.75
+    )
+    policy = GuardPolicy(eval_timeout_seconds=0.1)
+    guarded = GuardedObjective(chaos, space, policy=policy, seed=seed)
+    history = _session(guarded, space, seed, n_iterations=8).run()
+    summary = history.failure_summary()
+    if len(history) != 8:
+        failures.append(f"hanging: session stopped at {len(history)}/8 iterations")
+    if summary.get("timeout", 0) != 1:
+        failures.append(f"hanging: expected 1 timeout failure, got {summary}")
+    return {"iterations": len(history), "failure_summary": summary}
+
+
+# ----------------------------------------------------------------------
+def _transient_specs(seed: int, n_runs: int, n_iterations: int) -> list[RunSpec]:
+    space = _space(seed)
+    seeds = derive_run_seeds(seed, n_runs)
+    specs = []
+    for run in range(n_runs):
+        server = MySQLServer("SYSBENCH", "B", seed=seeds[run].server)
+        schedule = transient_schedule(seed + run, n_calls=2 * n_iterations, rate=0.2)
+        objective = TransientObjective(
+            DatabaseObjective(server, space), fail_calls=schedule
+        )
+        specs.append(
+            RunSpec(
+                run_index=run,
+                workload="SYSBENCH",
+                space=space,
+                n_iterations=n_iterations,
+                n_initial=2,
+                optimizer_factory=RegistryOptimizerFactory("random"),
+                optimizer_seed=seeds[run].optimizer,
+                objective=objective,
+                session_seed=seeds[run].session,
+                guard=GuardPolicy(max_transient_retries=2, backoff_base_seconds=0.001),
+                guard_seed=seeds[run].guard,
+                tags={"run": run},
+            )
+        )
+    return specs
+
+
+def scenario_transient_determinism(
+    seed: int, out_dir: str, failures: list[str]
+) -> dict:
+    n_runs, n_iterations = 3, 6
+    serial = ParallelExecutor(n_workers=1).run(_transient_specs(seed, n_runs, n_iterations))
+    expected = [history_fingerprint(r.history) for r in serial]
+    retried = sum(
+        1 for r in serial for o in r.history if o.eval_attempts > 1
+    )
+    if retried == 0:
+        failures.append("transient: schedule injected no retries; scenario is vacuous")
+    if not all(r.stop_reason == "max_iterations" for r in serial):
+        failures.append("transient: serial runs did not complete their budget")
+
+    parallel = ParallelExecutor(n_workers=2).run(
+        _transient_specs(seed, n_runs, n_iterations)
+    )
+    got_parallel = [history_fingerprint(r.history) for r in parallel]
+    if got_parallel != expected:
+        failures.append("transient: parallel fingerprints diverged from serial")
+
+    checkpoint = os.path.join(out_dir, "transient-checkpoint.jsonl")
+    victim = choose_victims(seed, n_runs, 1)[0]
+    interrupted = _transient_specs(seed, n_runs, n_iterations)
+    interrupted[victim].iteration_hook = WorkerKiller(
+        at_iteration=2, arm_dir=out_dir, label=f"resilience-{victim}", once=False
+    )
+    ParallelExecutor(
+        n_workers=2,
+        max_retries=0,
+        checkpoint_path=checkpoint,
+        telemetry_path=os.path.join(out_dir, "transient-telemetry.jsonl"),
+    ).run(interrupted)
+    resumed = ParallelExecutor(n_workers=2, checkpoint_path=checkpoint).run(
+        _transient_specs(seed, n_runs, n_iterations)
+    )
+    got_resumed = [history_fingerprint(r.history) for r in resumed]
+    if got_resumed != expected:
+        failures.append("transient: kill-and-resume fingerprints diverged from serial")
+    return {
+        "victim": victim,
+        "retried_observations": retried,
+        "serial_equals_parallel": got_parallel == expected,
+        "serial_equals_resumed": got_resumed == expected,
+    }
+
+
+# ----------------------------------------------------------------------
+def scenario_quarantine_and_budget(seed: int, failures: list[str]) -> dict:
+    space = _space(seed, with_memory_knob=True)
+    server = MySQLServer("SYSBENCH", "B", seed=seed)
+    policy = GuardPolicy(quarantine_crashes=3, quarantine_radius=0.2)
+    guarded = GuardedObjective(DatabaseObjective(server, space), space, policy=policy, seed=seed)
+
+    # Hammer one crash-prone neighbourhood: buffer pools far beyond RAM.
+    crash_config = dict(space.default_configuration())
+    gib = 1 << 30
+    for bp in (30 * gib, 31 * gib, 32 * gib):
+        crash_config["innodb_buffer_pool_size"] = bp
+        obs = guarded(dict(crash_config))
+        if not obs.failed or obs.failure_kind not in (
+            FailureKind.CRASH,
+            FailureKind.UNSTARTABLE,
+        ):
+            failures.append(f"quarantine: expected a config-induced crash, got {obs}")
+    if not guarded.quarantine_regions:
+        failures.append("quarantine: region never tripped after 3 clustered crashes")
+    crash_config["innodb_buffer_pool_size"] = 31 * gib
+    post = guarded(dict(crash_config))
+    if post.simulated_seconds != 0.0:
+        failures.append(
+            f"quarantine: short-circuited eval cost {post.simulated_seconds}s simulated "
+            "(expected 0)"
+        )
+    if guarded.n_short_circuits < 1:
+        failures.append("quarantine: evaluation inside the region was not short-circuited")
+
+    # Budget-aware session: 8 iterations would cost ~8*215s; cap well below.
+    space_small = _space(seed)
+    server2 = MySQLServer("SYSBENCH", "B", seed=seed)
+    session = _session(
+        DatabaseObjective(server2, space_small),
+        space_small,
+        seed,
+        n_iterations=50,
+        max_simulated_hours=0.2,  # 720 simulated seconds ≈ 3 evaluations
+    )
+    history = session.run()
+    if session.stop_reason != "simulated_budget":
+        failures.append(f"budget: stop_reason was {session.stop_reason!r}")
+    if len(history) >= 50:
+        failures.append("budget: session ran its full iteration budget despite the cap")
+    return {
+        "quarantine_regions": len(guarded.quarantine_regions),
+        "short_circuits": guarded.n_short_circuits,
+        "budget_iterations": len(history),
+        "budget_stop_reason": session.stop_reason,
+    }
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.resilience.smoke")
+    parser.add_argument("--out-dir", required=True)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args(argv)
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    failures: list[str] = []
+    summary = {
+        "raising": scenario_raising(args.seed, failures),
+        "hanging": scenario_hanging(args.seed, failures),
+        "transient": scenario_transient_determinism(args.seed, args.out_dir, failures),
+        "quarantine_and_budget": scenario_quarantine_and_budget(args.seed, failures),
+        "failures": failures,
+    }
+    for name, result in summary.items():
+        if name != "failures":
+            print(f"{name}: {json.dumps(result)}")
+    with open(os.path.join(args.out_dir, "summary.json"), "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("resilience-smoke: OK" if not failures else "resilience-smoke: FAILED")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

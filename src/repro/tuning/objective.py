@@ -59,6 +59,7 @@ class DatabaseObjective:
             score=score,
             failed=result.failed,
             failure_reason=result.failure_reason,
+            failure_kind=result.failure_kind,
             metrics=result.metrics,
             simulated_seconds=result.simulated_seconds,
         )

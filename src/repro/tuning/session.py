@@ -40,13 +40,25 @@ class TuningSession:
         seed: int | None = None,
         warm_start: list[Observation] | None = None,
         on_iteration=None,
+        max_simulated_hours: float | None = None,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if max_simulated_hours is not None and max_simulated_hours <= 0:
+            raise ValueError("max_simulated_hours must be > 0")
         self.objective = objective
         self.optimizer = optimizer
         self.space = space
         self.max_iterations = max_iterations
+        # Simulated wall-clock budget (paper-style "tune for N hours"):
+        # every evaluation's simulated_seconds counts against it — failed
+        # ones too, since a crashed config still costs its restart
+        # attempt (§4.1).  None (the default) preserves the historical
+        # iteration-only stopping rule exactly.
+        self.max_simulated_hours = max_simulated_hours
+        #: Why the last run() stopped: "max_iterations" or
+        #: "simulated_budget" (None before the first run).
+        self.stop_reason: str | None = None
         # Warm-start observations count against the LHS budget: a session
         # resumed from len(warm_start) prior observations must not replay
         # the full initial design on top of them (transfer studies would
@@ -86,7 +98,16 @@ class TuningSession:
         """
         sampler = LatinHypercubeSampler(self.space, seed=self.seed)
         initial = sampler.sample(self.n_initial) if self.n_initial > 0 else []
+        budget_seconds = (
+            self.max_simulated_hours * 3600.0 if self.max_simulated_hours is not None else None
+        )
+        # Warm-start observations already spent part of the budget.
+        consumed = sum(o.simulated_seconds for o in self.history)
+        self.stop_reason = "max_iterations"
         for i in range(self.max_iterations):
+            if budget_seconds is not None and consumed >= budget_seconds:
+                self.stop_reason = "simulated_budget"
+                break
             if i < len(initial):
                 config, suggest_seconds = initial[i], 0.0
             else:
@@ -95,6 +116,7 @@ class TuningSession:
                 suggest_seconds = time.perf_counter() - t0
             obs = self.objective(config)
             self._record(obs, suggest_seconds)
+            consumed += obs.simulated_seconds
             if callback is not None:
                 callback(i, obs)
             if self.on_iteration is not None:

@@ -1,0 +1,44 @@
+"""True negatives for R009: classified, recorded, or re-raised failures."""
+
+
+def reraises(fn):
+    try:
+        return fn()
+    except Exception:
+        raise
+
+
+def wraps_and_raises(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise RuntimeError("evaluation failed") from exc
+
+
+def builds_failed_result(fn, RunResult):
+    try:
+        return fn()
+    except Exception as exc:
+        return RunResult(failed=True, error=str(exc))
+
+
+def builds_failed_observation(fn, make_failed_obs):
+    try:
+        return fn()
+    except Exception as exc:
+        return make_failed_obs(reason=str(exc))
+
+
+def classifies_kind(fn, FailureKind, record):
+    try:
+        return fn()
+    except Exception:
+        record(FailureKind("evaluation_error"))
+        return None
+
+
+def narrow_catch_is_fine(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

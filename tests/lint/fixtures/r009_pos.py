@@ -1,0 +1,31 @@
+"""True positives for R009: catch-alls that lose the failure."""
+
+
+def return_default(fn):
+    try:
+        return fn()
+    except Exception:  # finding: failure replaced by a silent default
+        return 0.0
+
+
+def log_and_continue(fn, log):
+    try:
+        return fn()
+    except Exception as exc:  # finding: printing is not recording
+        log.append(str(exc))
+        return None
+
+
+def bare_swallow(fn):
+    try:
+        return fn()
+    except:  # finding: bare except, nothing recorded
+        return None
+
+
+def tuple_catch_all(fn):
+    try:
+        return fn()
+    except (ValueError, BaseException) as exc:  # finding: BaseException in tuple
+        print(exc)
+        return -1

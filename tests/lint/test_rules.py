@@ -18,6 +18,7 @@ EXPECTED_POSITIVES = {
     "R006": 4,
     "R007": 4,
     "R008": 4,
+    "R009": 4,
 }
 
 

@@ -203,3 +203,114 @@ class TestResume:
             _specs(small_space)
         )
         assert [result_fingerprint(r) for r in phase3] == expected
+
+
+class TestResilienceCompat:
+    """The resilience fields must not disturb pre-existing checkpoints."""
+
+    def test_guard_free_spec_key_omits_resilience_fields(self, small_space):
+        import hashlib
+
+        from repro.parallel.checkpoint import (
+            _describe,
+            _describe_space,
+            _dumps,
+            observation_to_record,
+        )
+
+        spec = _specs(small_space, n_runs=1)[0]
+        # Rebuild the historical payload by hand: a guard-free, unbudgeted
+        # spec must hash exactly as it did before the resilience fields
+        # existed, so old checkpoints keep matching.
+        payload = {
+            "run_index": spec.run_index,
+            "workload": spec.workload,
+            "instance": spec.instance,
+            "n_iterations": spec.n_iterations,
+            "n_initial": spec.n_initial,
+            "server_seed": spec.server_seed,
+            "optimizer_seed": spec.optimizer_seed,
+            "session_seed": spec.session_seed,
+            "space": _describe_space(spec.space),
+            "optimizer": _describe(spec.optimizer_factory or spec.optimizer),
+            "objective": _describe(spec.objective),
+            "warm_start": [observation_to_record(o) for o in spec.warm_start or []],
+        }
+        legacy = hashlib.sha256(_dumps(payload).encode("utf-8")).hexdigest()[:20]
+        assert spec_key(spec) == legacy
+
+    def test_guard_policy_changes_key_but_guard_seed_does_not(self, small_space):
+        from dataclasses import replace
+
+        from repro.resilience import GuardPolicy
+
+        base = _specs(small_space, n_runs=1)[0]
+        assert spec_key(replace(base, guard_seed=99)) == spec_key(base)
+        assert spec_key(replace(base, guard=GuardPolicy())) != spec_key(base)
+        assert spec_key(
+            replace(base, max_simulated_hours=1.0)
+        ) != spec_key(base)
+
+    def test_observation_round_trips_failure_kind_and_attempts(self, small_space):
+        from repro.optimizers.base import Observation
+        from repro.parallel.checkpoint import (
+            observation_to_record,
+            record_to_observation,
+        )
+        from repro.resilience import FailureKind
+        from repro.space import Configuration
+
+        obs = Observation(
+            config=Configuration(dict(small_space.default_configuration())),
+            objective=1.0,
+            score=1.0,
+            failed=True,
+            failure_reason="timeout: watchdog",
+            failure_kind=FailureKind.TIMEOUT,
+            eval_attempts=3,
+        )
+        back = record_to_observation(observation_to_record(obs))
+        assert back.failure_kind is FailureKind.TIMEOUT
+        assert back.eval_attempts == 3
+
+    def test_legacy_observation_record_loads_with_defaults(self, small_space):
+        from repro.parallel.checkpoint import (
+            observation_to_record,
+            record_to_observation,
+        )
+        from repro.optimizers.base import Observation
+        from repro.space import Configuration
+
+        obs = Observation(
+            config=Configuration(dict(small_space.default_configuration())),
+            objective=1.0,
+            score=1.0,
+        )
+        record = observation_to_record(obs)
+        # A successful single-attempt observation serializes exactly as it
+        # did before the resilience layer — no new keys — so fingerprints
+        # of unguarded runs are unchanged.
+        assert "failure_kind" not in record
+        assert "eval_attempts" not in record
+        back = record_to_observation(record)
+        assert back.failure_kind is None
+        assert back.eval_attempts == 1
+
+    def test_run_seeds_first_three_streams_unchanged(self):
+        import numpy as np
+
+        from repro.parallel import derive_run_seeds
+
+        seeds = derive_run_seeds(123, 3)
+        # Historical derivation: each child spawned exactly three
+        # grandchildren.  Adding the guard stream as a fourth spawn must
+        # leave the first three identical, or every existing checkpoint
+        # and published fingerprint would silently invalidate.
+        children = np.random.SeedSequence(123).spawn(3)
+        for run, child in enumerate(children):
+            legacy = [int(g.generate_state(1)[0]) for g in child.spawn(3)]
+            assert [
+                seeds[run].server,
+                seeds[run].optimizer,
+                seeds[run].session,
+            ] == legacy

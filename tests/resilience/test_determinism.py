@@ -1,0 +1,143 @@
+"""Determinism through chaos: serial == parallel == kill-and-resume.
+
+The resilience layer must not cost the repository its headline guarantee:
+with a seeded transient-failure schedule and guarded retries, histories —
+including the retry/backoff accounting (``eval_attempts``) and the
+failure taxonomy — must fingerprint identically however the study runs.
+"""
+
+import os
+
+import pytest
+
+from repro.dbms.catalog import mysql_knob_space
+from repro.dbms.server import MySQLServer
+from repro.parallel import (
+    ParallelExecutor,
+    RegistryOptimizerFactory,
+    RunSpec,
+    TransientObjective,
+    WorkerKiller,
+    derive_run_seeds,
+    history_fingerprint,
+    transient_schedule,
+)
+from repro.resilience import GuardPolicy
+from repro.tuning.objective import DatabaseObjective
+
+N_RUNS = 3
+N_ITERATIONS = 5
+SEED = 23
+
+
+def _specs(space):
+    seeds = derive_run_seeds(SEED, N_RUNS)
+    specs = []
+    for run in range(N_RUNS):
+        schedule = transient_schedule(SEED + run, n_calls=3 * N_ITERATIONS, rate=0.25)
+        objective = TransientObjective(
+            DatabaseObjective(MySQLServer("SYSBENCH", "B", seed=seeds[run].server), space),
+            fail_calls=schedule,
+        )
+        specs.append(
+            RunSpec(
+                run_index=run,
+                workload="SYSBENCH",
+                space=space,
+                n_iterations=N_ITERATIONS,
+                n_initial=2,
+                optimizer_factory=RegistryOptimizerFactory("random"),
+                optimizer_seed=seeds[run].optimizer,
+                objective=objective,
+                session_seed=seeds[run].session,
+                guard=GuardPolicy(max_transient_retries=2, backoff_base_seconds=0.001),
+                guard_seed=seeds[run].guard,
+            )
+        )
+    return specs
+
+
+@pytest.fixture(scope="module")
+def space():
+    return mysql_knob_space(
+        "B",
+        knob_names=["innodb_flush_log_at_trx_commit", "innodb_log_file_size"],
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(space):
+    return ParallelExecutor(n_workers=1).run(_specs(space))
+
+
+def test_schedule_actually_injects_retries(serial_results):
+    retried = [
+        o for r in serial_results for o in r.history if o.eval_attempts > 1
+    ]
+    assert retried, "transient schedule produced no retries; test is vacuous"
+    exhausted = [o for o in retried if o.failed]
+    # Retried-and-recovered observations must be successes with attempts > 1.
+    recovered = [o for o in retried if not o.failed]
+    assert recovered
+    for obs in exhausted:
+        assert obs.eval_attempts == 3  # 1 + max_transient_retries
+
+
+def test_sessions_complete_budget_through_transients(serial_results):
+    for result in serial_results:
+        assert result.stop_reason == "max_iterations"
+        assert result.n_iterations == N_ITERATIONS
+        assert not result.failed
+
+
+def test_parallel_matches_serial(space, serial_results):
+    expected = [history_fingerprint(r.history) for r in serial_results]
+    parallel = ParallelExecutor(n_workers=2).run(_specs(space))
+    assert [history_fingerprint(r.history) for r in parallel] == expected
+
+
+def test_kill_and_resume_matches_serial(space, serial_results, tmp_path):
+    expected = [history_fingerprint(r.history) for r in serial_results]
+    checkpoint = str(tmp_path / "checkpoint.jsonl")
+    victim = 1
+    interrupted = _specs(space)
+    interrupted[victim].iteration_hook = WorkerKiller(
+        at_iteration=2, arm_dir=str(tmp_path), label="det-kill", once=False
+    )
+    phase1 = ParallelExecutor(
+        n_workers=2, max_retries=0, checkpoint_path=checkpoint
+    ).run(interrupted)
+    assert phase1[victim].failed
+    assert os.path.exists(checkpoint)
+
+    resumed = ParallelExecutor(n_workers=2, checkpoint_path=checkpoint).run(
+        _specs(space)
+    )
+    assert [history_fingerprint(r.history) for r in resumed] == expected
+    # Retry accounting round-trips the checkpoint too.
+    for fresh, reloaded in zip(serial_results, resumed):
+        assert [o.eval_attempts for o in fresh.history] == [
+            o.eval_attempts for o in reloaded.history
+        ]
+        assert [
+            None if o.failure_kind is None else o.failure_kind.value
+            for o in fresh.history
+        ] == [
+            None if o.failure_kind is None else o.failure_kind.value
+            for o in reloaded.history
+        ]
+
+
+def test_failure_kinds_survive_telemetry_and_result_records(space, serial_results):
+    from repro.parallel import result_to_record, record_to_result, telemetry_record
+
+    for result in serial_results:
+        record = result_to_record(result)
+        back = record_to_result(record, space)
+        assert back.failure_kinds == result.failure_kinds
+        assert back.stop_reason == result.stop_reason
+        tele = telemetry_record(result, event="final")
+        assert tele["stop_reason"] == "max_iterations"
+        if result.failure_kinds:
+            assert tele["failure_kinds"] == result.failure_kinds

@@ -1,0 +1,121 @@
+"""Failure taxonomy: classification, retryability, and engine threading."""
+
+import pytest
+
+from repro.dbms.engine import OOM_FRACTION, UNSTARTABLE_FRACTION, PerformanceModel
+from repro.dbms.instances import INSTANCES
+from repro.dbms.server import MySQLServer
+from repro.resilience import (
+    CONFIG_INDUCED_KINDS,
+    FailureKind,
+    classify_failure_reason,
+    is_retryable,
+)
+from repro.workloads.profiles import get_workload
+
+GIB = 1 << 30
+
+
+def test_kinds_are_json_friendly_strings():
+    for kind in FailureKind:
+        assert isinstance(kind.value, str)
+        assert str(kind) == kind.value
+
+
+def test_only_transient_is_retryable():
+    assert is_retryable(FailureKind.TRANSIENT)
+    for kind in FailureKind:
+        if kind is not FailureKind.TRANSIENT:
+            assert not is_retryable(kind)
+
+
+def test_config_induced_kinds_feed_quarantine():
+    assert FailureKind.CRASH in CONFIG_INDUCED_KINDS
+    assert FailureKind.UNSTARTABLE in CONFIG_INDUCED_KINDS
+    assert FailureKind.TRANSIENT not in CONFIG_INDUCED_KINDS
+
+
+@pytest.mark.parametrize(
+    "reason,expected",
+    [
+        ("oom: memory overcommit, mysqld killed during stress test", FailureKind.CRASH),
+        ("oom: memory overcommit, mysqld unable to start", FailureKind.UNSTARTABLE),
+        ("timeout: evaluation exceeded deadline", FailureKind.TIMEOUT),
+        ("transient: connection reset", FailureKind.TRANSIENT),
+        ("quarantined: configuration inside a known crash region", FailureKind.CRASH),
+        (None, None),
+        ("some novel failure", None),
+    ],
+)
+def test_classify_failure_reason(reason, expected):
+    assert classify_failure_reason(reason) is expected
+
+
+# ----------------------------------------------------------------------
+# engine predicate -> FailureKind mapping (docs/SIMULATOR.md table)
+# ----------------------------------------------------------------------
+def _engine_result(bp_bytes, mysql_space):
+    instance = INSTANCES["B"]
+    model = PerformanceModel(instance, seed=3)
+    config = mysql_space.complete({"innodb_buffer_pool_size": bp_bytes})
+    return model.evaluate(config, get_workload("SYSBENCH"), noise=False)
+
+
+def test_engine_classifies_mid_band_overcommit_as_crash(mysql_space):
+    ram = INSTANCES["B"].ram_gb
+    assert OOM_FRACTION < UNSTARTABLE_FRACTION
+    result = _engine_result(int(1.0 * ram * GIB), mysql_space)
+    assert result.failed
+    assert result.failure_kind is FailureKind.CRASH
+    assert "oom" in result.failure_reason
+
+
+def test_engine_classifies_extreme_overcommit_as_unstartable(mysql_space):
+    ram = INSTANCES["B"].ram_gb
+    result = _engine_result(int(2.0 * ram * GIB), mysql_space)
+    assert result.failed
+    assert result.failure_kind is FailureKind.UNSTARTABLE
+    assert "unable to start" in result.failure_reason
+
+
+def test_engine_success_has_no_kind(mysql_space):
+    result = _engine_result(4 * GIB, mysql_space)
+    assert not result.failed
+    assert result.failure_kind is None
+
+
+def test_server_threads_kind_and_counts_per_kind(sysbench_space):
+    server = MySQLServer("SYSBENCH", "B", seed=5, noise=False)
+    ram = INSTANCES["B"].ram_gb
+    ok = server.evaluate({"innodb_buffer_pool_size": 4 * GIB})
+    assert ok.failure_kind is None
+    crashed = server.evaluate({"innodb_buffer_pool_size": int(1.0 * ram * GIB)})
+    assert crashed.failed and crashed.failure_kind is FailureKind.CRASH
+    unstartable = server.evaluate({"innodb_buffer_pool_size": int(2.0 * ram * GIB)})
+    assert unstartable.failed and unstartable.failure_kind is FailureKind.UNSTARTABLE
+    assert server.failure_counts == {"crash": 1, "unstartable": 1}
+    assert server.n_failures == 2
+
+
+def test_history_failure_summary(sysbench_space):
+    from repro.optimizers.base import History, Observation
+    from repro.space import Configuration
+
+    history = History(sysbench_space)
+    default = sysbench_space.default_configuration()
+
+    def obs(failed, kind=None):
+        return Observation(
+            config=Configuration(dict(default)),
+            objective=1.0,
+            score=1.0,
+            failed=failed,
+            failure_kind=kind,
+        )
+
+    history.append(obs(False))
+    history.append(obs(True, FailureKind.CRASH))
+    history.append(obs(True, FailureKind.CRASH))
+    history.append(obs(True, FailureKind.TIMEOUT))
+    history.append(obs(True))  # legacy failure without a kind
+    assert history.failure_summary() == {"crash": 2, "timeout": 1, "unclassified": 1}

@@ -195,6 +195,88 @@ class TestTuningSession:
         assert session.total_simulated_hours() > 0.4  # ~10 * 215s
 
 
+class TestSimulatedBudget:
+    def _session(self, space, server, max_iterations=20, **kwargs):
+        obj = DatabaseObjective(server, space)
+        return TuningSession(
+            obj, RandomSearch(space, seed=0), space,
+            max_iterations=max_iterations, n_initial=2, seed=0, **kwargs,
+        )
+
+    def test_unbudgeted_session_stops_on_max_iterations(
+        self, sysbench_space, sysbench_server
+    ):
+        session = self._session(sysbench_space, sysbench_server, max_iterations=3)
+        assert session.stop_reason is None  # set only once run() starts
+        history = session.run()
+        assert len(history) == 3
+        assert session.stop_reason == "max_iterations"
+
+    def test_budget_stops_session_early(self, sysbench_space, sysbench_server):
+        # Successful evaluations cost ~215 simulated seconds each; an
+        # 0.2h (720s) budget allows roughly three of them out of twenty.
+        session = self._session(
+            sysbench_space, sysbench_server, max_simulated_hours=0.2
+        )
+        history = session.run()
+        assert session.stop_reason == "simulated_budget"
+        assert 0 < len(history) < 20
+        assert session.total_simulated_hours() >= 0.2
+
+    def test_failed_evaluations_consume_restart_cost(self, sysbench_space):
+        # A buffer pool far beyond RAM fails every evaluation; each failure
+        # still pays the 35s restart, so the budget must run out eventually.
+        class AlwaysCrashes:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def __call__(self, config):
+                doomed = dict(config)
+                doomed["innodb_buffer_pool_size"] = 32 * GB
+                return self.inner(doomed)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        inner = DatabaseObjective(
+            MySQLServer("SYSBENCH", "B", seed=2), sysbench_space
+        )
+        budget_seconds = 100.0  # covers two 35s restarts, not three
+        session = TuningSession(
+            AlwaysCrashes(inner), RandomSearch(sysbench_space, seed=2),
+            sysbench_space, max_iterations=50, n_initial=0, seed=2,
+            max_simulated_hours=budget_seconds / 3600.0,
+        )
+        history = session.run()
+        assert session.stop_reason == "simulated_budget"
+        assert all(o.failed for o in history)
+        assert len(history) == 3  # 35 + 35 < 100 <= 35 * 3
+
+    def test_warm_start_counts_toward_budget(self, sysbench_space, sysbench_server):
+        warm = self._session(sysbench_space, sysbench_server, max_iterations=4).run()
+        consumed_hours = sum(o.simulated_seconds for o in warm) / 3600.0
+        # The warm start alone exhausts the budget: zero new evaluations run.
+        session = TuningSession(
+            DatabaseObjective(MySQLServer("SYSBENCH", "B", seed=3), sysbench_space),
+            RandomSearch(sysbench_space, seed=3), sysbench_space,
+            max_iterations=20, n_initial=0, seed=3, warm_start=list(warm),
+            max_simulated_hours=consumed_hours,
+        )
+        history = session.run()
+        assert session.stop_reason == "simulated_budget"
+        assert len(history) == len(warm)  # no new evaluations fit the budget
+
+    def test_budget_validation(self, sysbench_space, sysbench_server):
+        with pytest.raises(ValueError):
+            self._session(
+                sysbench_space, sysbench_server, max_simulated_hours=0.0
+            )
+        with pytest.raises(ValueError):
+            self._session(
+                sysbench_space, sysbench_server, max_simulated_hours=-1.0
+            )
+
+
 class TestMetrics:
     def test_improvement_directions(self):
         assert improvement_over_default(150.0, 100.0, "max") == pytest.approx(0.5)
