@@ -27,6 +27,16 @@ R007      Wall-clock reads (``time.time()``, ``datetime.now()``) in
 R008      Float ``==``/``!=`` against non-sentinel literals.
 R009      Catch-all ``except`` handlers that neither re-raise nor record
           a classified failure (Observation / RunResult / FailureKind).
+R010      Whole-program: an RNG sink reachable without any tainted seed
+          flowing into it (seed provenance broken across modules).
+R011      Whole-program: a function accepts a seed but never threads it
+          to any RNG, callee, return, or stored attribute (dropped seed).
+R012      Whole-program: call sites invoking ``suggest``/``observe`` with
+          a shape no registered Optimizer accepts (and drifted defs).
+R013      Whole-program: checkpoint schema asymmetry between
+          ``*_to_record`` writers and ``record_to_*`` readers.
+R014      Whole-program: wall-clock values flowing into recorded or
+          fingerprinted payloads via the call graph.
 ========  =============================================================
 
 Findings are suppressed inline with ``# reprolint: disable=RXXX <reason>``;
@@ -48,7 +58,12 @@ from repro.lint.engine import FileReport, Linter, lint_paths
 from repro.lint.findings import Finding
 from repro.lint.registry import RULES, Rule, rule_catalog
 
+#: Engine version, used to salt the whole-program analysis cache — bump
+#: whenever rule semantics or summary extraction change.
+ENGINE_VERSION = "2.0"
+
 __all__ = [
+    "ENGINE_VERSION",
     "Finding",
     "FileReport",
     "LintConfig",

@@ -13,6 +13,7 @@ from repro.lint.findings import (
     PARSE_ERROR_RULE_ID,
     SUPPRESSION_RULE_ID,
     Finding,
+    Suppression,
     scan_suppressions,
 )
 from repro.lint.registry import RULES, Rule
@@ -66,15 +67,21 @@ class Linter:
         )
         if unknown:
             raise ValueError(f"unknown rule id(s) in configuration: {', '.join(unknown)}")
-        self._rules: dict[str, Rule] = {rid: cls() for rid, cls in sorted(RULES.items())}
+        # Program-scope rules (R010+) need the whole-program index and are
+        # dispatched by repro.lint.program.driver, not per file.
+        self._rules: dict[str, Rule] = {
+            rid: cls() for rid, cls in sorted(RULES.items()) if cls.scope == "file"
+        }
 
     # ------------------------------------------------------------------
     def lint_file(self, path: str | Path) -> FileReport:
         path = Path(path)
         report = FileReport(path=str(path))
         try:
-            source = path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
+            # utf-8-sig: a UTF-8 BOM is metadata, not source — strip it so
+            # BOM'd files lint like any other instead of tripping the parser.
+            source = path.read_text(encoding="utf-8-sig")
+        except (OSError, UnicodeDecodeError, ValueError) as exc:
             report.findings.append(
                 Finding(PARSE_ERROR_RULE_ID, str(path), 1, 1, f"cannot read file: {exc}")
             )
@@ -84,7 +91,18 @@ class Linter:
     def lint_source(
         self, source: str, path: str = "<string>", report: FileReport | None = None
     ) -> FileReport:
+        report, _ctx, _suppressions = self.lint_source_full(source, path, report)
+        return report
+
+    def lint_source_full(
+        self, source: str, path: str = "<string>", report: FileReport | None = None
+    ) -> tuple[FileReport, FileContext | None, dict[int, Suppression]]:
+        """Like :meth:`lint_source`, but also returns the parsed context and
+        suppression map so the whole-program driver can extract its file
+        summary from the same parse instead of re-reading the source."""
         report = report if report is not None else FileReport(path=path)
+        if source.startswith("\ufeff"):  # BOM survives direct lint_source calls
+            source = source.lstrip("\ufeff")
         lines = source.splitlines()
         suppressions, suppression_findings = scan_suppressions(path, lines)
         report.findings.extend(suppression_findings)
@@ -100,7 +118,14 @@ class Linter:
                     f"syntax error: {exc.msg}",
                 )
             )
-            return report
+            return report, None, suppressions
+        except ValueError as exc:
+            # e.g. null bytes: older interpreters raise ValueError rather
+            # than SyntaxError; either way it is an E001, not a traceback.
+            report.findings.append(
+                Finding(PARSE_ERROR_RULE_ID, path, 1, 1, f"cannot parse file: {exc}")
+            )
+            return report, None, suppressions
         active = self.config.rules_for(Path(path), sorted(self._rules))
         for rule_id in active:
             rule = self._rules[rule_id]
@@ -113,7 +138,7 @@ class Linter:
                     report.findings.append(finding)
         report.findings.sort(key=Finding.sort_key)
         report.suppressed.sort(key=Finding.sort_key)
-        return report
+        return report, ctx, suppressions
 
     # ------------------------------------------------------------------
     def run(self, paths: Sequence[str | Path]) -> list[FileReport]:

@@ -13,9 +13,11 @@ PARSE_ERROR_RULE_ID = "E001"
 #: ``# reprolint: disable=R001,R002 <mandatory reason>``.  Codes must match
 #: ``R<3 digits>`` (or the literal ``all``) exactly — anything else is not
 #: treated as a suppression, so the underlying finding still surfaces.
+#: Whitespace is tolerated around the commas (``disable=R001, R002 why``);
+#: every listed code is honored, not just the first.
 _SUPPRESSION_RE = re.compile(
     r"#\s*reprolint:\s*disable="
-    r"(?P<codes>(?:[A-Z]\d{3}|all)(?:,(?:[A-Z]\d{3}|all))*)"
+    r"(?P<codes>(?:[A-Z]\d{3}|all)(?:\s*,\s*(?:[A-Z]\d{3}|all))*)"
     r"(?:[ \t]+(?P<reason>\S.*))?"
 )
 

@@ -1,0 +1,120 @@
+"""Baseline: accepted pre-existing findings that do not fail the build.
+
+A baseline entry identifies a finding by ``(rule, path, content hash of
+its source line, occurrence ordinal)`` — line *content*, not line
+*number*, so unrelated edits above a finding do not resurrect it, while
+editing the flagged line itself (or introducing a brand-new finding)
+escapes the baseline and fails CI as it should.  The ordinal counts
+same-content duplicates within one file in line order, so adding a
+*second* ``def __init__(self, seed=None):`` with the same defect does
+not hide behind the first one's entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_FORMAT_VERSION = 1
+
+#: (rule, posix path, line fingerprint, occurrence ordinal)
+Entry = tuple[str, str, str, int]
+
+
+def _line_fingerprint(lines: list[str], lineno: int) -> str:
+    """Short hash of the stripped source line a finding points at."""
+    if 1 <= lineno <= len(lines):
+        text = lines[lineno - 1].strip()
+    else:
+        text = ""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _assign_ordinals(
+    findings: list[Finding], sources: dict[str, list[str]]
+) -> list[tuple[Finding, Entry]]:
+    """Pair each finding (in line order) with its baseline entry."""
+    counters: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, Entry]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        lines = sources.get(finding.path, [])
+        key = (
+            finding.rule,
+            str(Path(finding.path).as_posix()),
+            _line_fingerprint(lines, finding.line),
+        )
+        ordinal = counters.get(key, 0)
+        counters[key] = ordinal + 1
+        out.append((finding, (*key, ordinal)))
+    return out
+
+
+class Baseline:
+    """A set of accepted findings, serializable to a JSON file."""
+
+    def __init__(self, entries: set[Entry] | None = None) -> None:
+        self.entries: set[Entry] = set(entries or ())
+        #: entries matched at least once this run (for staleness reports)
+        self.used: set[Entry] = set()
+
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: list[Finding], sources: dict[str, list[str]]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition findings into ``(kept, baselined)``."""
+        kept: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding, entry in _assign_ordinals(findings, sources):
+            if entry in self.entries:
+                self.used.add(entry)
+                baselined.append(finding)
+            else:
+                kept.append(finding)
+        return kept, baselined
+
+    @property
+    def stale(self) -> set[Entry]:
+        return self.entries - self.used
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("format") != BASELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline format {data.get('format')!r} in {path}"
+            )
+        entries = {
+            (e["rule"], e["path"], e["fingerprint"], int(e.get("occurrence", 0)))
+            for e in data["entries"]
+        }
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "format": BASELINE_FORMAT_VERSION,
+            "entries": [
+                {
+                    "rule": rule,
+                    "path": file_path,
+                    "fingerprint": fp,
+                    "occurrence": ordinal,
+                }
+                for rule, file_path, fp, ordinal in sorted(self.entries)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], sources: dict[str, list[str]]
+    ) -> "Baseline":
+        return cls({entry for _, entry in _assign_ordinals(findings, sources)})
+
+
+__all__ = ["Baseline", "BASELINE_FORMAT_VERSION"]

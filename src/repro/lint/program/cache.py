@@ -1,0 +1,161 @@
+"""Content-hash incremental cache for per-file analysis results.
+
+One JSON file per analyzed source file under ``.reprolint_cache/``,
+keyed by the SHA-256 of the file *content* plus a salt covering the
+engine version and the active rule set — editing a rule or upgrading
+the linter invalidates everything, touching one source file invalidates
+only that file.  Entries store the serialized
+:class:`~repro.lint.program.summary.FileSummary` together with the
+per-file findings/suppressed lists, so a warm run re-parses nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.program.summary import FileSummary
+
+#: Bump whenever summary extraction or finding semantics change in a way
+#: cached entries cannot represent.
+CACHE_FORMAT_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".reprolint_cache"
+
+
+@dataclass
+class CacheStats:
+    """Which files a run actually re-analyzed — asserted on by tests."""
+
+    hits: list[str] = field(default_factory=list)
+    analyzed: list[str] = field(default_factory=list)
+
+    @property
+    def n_hits(self) -> int:
+        return len(self.hits)
+
+    @property
+    def n_analyzed(self) -> int:
+        return len(self.analyzed)
+
+
+@dataclass
+class CachedFile:
+    """One file's cached analysis product."""
+
+    summary: FileSummary
+    findings: list[Finding]
+    suppressed: list[Finding]
+
+
+def _finding_to_dict(finding: Finding) -> dict:
+    return finding.to_dict()
+
+
+def _finding_from_dict(data: dict) -> Finding:
+    return Finding(
+        rule=data["rule"],
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        message=data["message"],
+    )
+
+
+class AnalysisCache:
+    """Load/store per-file analysis keyed by content hash + salt."""
+
+    def __init__(self, cache_dir: str | Path, salt: str, enabled: bool = True) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.salt = salt
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def salt_for(engine_version: str, rule_ids: list[str]) -> str:
+        payload = json.dumps(
+            {"format": CACHE_FORMAT_VERSION, "engine": engine_version, "rules": sorted(rule_ids)},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def key_for(self, source: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.salt.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        # Shard by the first two hex chars to keep directories shallow.
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, path: str, source: str) -> CachedFile | None:
+        """Cached product for this exact content, or ``None``."""
+        if not self.enabled:
+            return None
+        entry = self._entry_path(self.key_for(source))
+        try:
+            data = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if data.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        try:
+            summary = FileSummary.from_dict(data["summary"])
+            findings = [_finding_from_dict(f) for f in data["findings"]]
+            suppressed = [_finding_from_dict(f) for f in data["suppressed"]]
+        except (KeyError, TypeError):
+            return None
+        # The cache is content-addressed, so a file moved on disk gets a
+        # hit but stale path strings; rewrite them to the current path.
+        summary = summary.with_path(path)
+        findings = [
+            Finding(f.rule, path, f.line, f.col, f.message) for f in findings
+        ]
+        suppressed = [
+            Finding(f.rule, path, f.line, f.col, f.message) for f in suppressed
+        ]
+        self.stats.hits.append(path)
+        return CachedFile(summary=summary, findings=findings, suppressed=suppressed)
+
+    def store(
+        self,
+        path: str,
+        source: str,
+        summary: FileSummary,
+        findings: list[Finding],
+        suppressed: list[Finding],
+    ) -> None:
+        self.stats.analyzed.append(path)
+        if not self.enabled:
+            return
+        entry = self._entry_path(self.key_for(source))
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "summary": summary.to_dict(),
+            "findings": [_finding_to_dict(f) for f in findings],
+            "suppressed": [_finding_to_dict(f) for f in suppressed],
+        }
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            tmp.replace(entry)
+        except OSError:
+            # A read-only or full disk degrades to cold runs, never a crash.
+            pass
+
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "CachedFile",
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+]

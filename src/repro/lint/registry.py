@@ -23,6 +23,10 @@ class Rule:
     name: str = ""
     #: One-line rationale shown in ``--list-rules`` and docs.
     summary: str = ""
+    #: ``"file"`` rules run per file on a :class:`FileContext`;
+    #: ``"program"`` rules run once over the whole-program index (see
+    #: :mod:`repro.lint.program`) and are skipped by the per-file engine.
+    scope: str = "file"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         raise NotImplementedError
@@ -37,6 +41,24 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
         )
+
+
+class ProgramRule(Rule):
+    """A rule that needs the whole-program index rather than one file.
+
+    Subclasses implement :meth:`check_program`; the per-file engine skips
+    them (``scope == "program"``) and the program driver runs them after
+    every file summary is available.
+    """
+
+    scope = "program"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_program(self, index) -> Iterable[Finding]:
+        """Yield findings over a :class:`repro.lint.program.ProgramIndex`."""
+        raise NotImplementedError
 
 
 #: Registry of all known rules, keyed by rule id.

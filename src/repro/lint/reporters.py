@@ -1,12 +1,14 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON, and SARIF reporters for lint results."""
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import Iterable
 
 from repro.lint.engine import FileReport
 from repro.lint.findings import Finding
+from repro.lint.registry import RULES
 
 #: Schema version of the JSON report (bump on breaking field changes).
 JSON_SCHEMA_VERSION = 1
@@ -65,7 +67,125 @@ def render_json(reports: list[FileReport]) -> str:
     return json.dumps(payload, indent=2, sort_keys=False)
 
 
+#: SARIF 2.1.0 — the schema GitHub code scanning ingests for PR annotations.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Parse errors block analysis entirely; everything else is a contract
+#: violation CI treats as a failure but annotates as a warning so the
+#: diff view stays readable.
+_SARIF_LEVELS = {"E001": "error"}
+
+
+def _engine_version() -> str:
+    from repro.lint import ENGINE_VERSION  # local import: no cycle at load
+
+    return ENGINE_VERSION
+
+
+def _sarif_uri(path: str) -> str:
+    """Repo-relative forward-slash URI (SARIF wants URIs, not OS paths)."""
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def render_sarif(reports: list[FileReport]) -> str:
+    """SARIF 2.1.0 report for GitHub code-scanning PR annotations.
+
+    One run, one driver (``reprolint``), one rule descriptor per rule
+    that actually fired, one result per finding.  Suppressed findings
+    are emitted with a SARIF ``suppressions`` entry so the annotation
+    history stays auditable without failing the scan.
+    """
+    findings = _all_findings(reports)
+    suppressed = sorted(
+        (f for report in reports for f in report.suppressed), key=Finding.sort_key
+    )
+
+    fired = sorted({f.rule for f in findings} | {f.rule for f in suppressed})
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    rules = []
+    for rule_id in fired:
+        cls = RULES.get(rule_id)
+        descriptor: dict[str, object] = {
+            "id": rule_id,
+            "name": getattr(cls, "name", rule_id) if cls else rule_id,
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(rule_id, "warning")
+            },
+        }
+        if cls is not None and getattr(cls, "summary", ""):
+            descriptor["shortDescription"] = {"text": cls.summary}
+            descriptor["helpUri"] = (
+                "https://github.com/repro/repro/blob/main/docs/LINTING.md"
+                f"#{rule_id.lower()}"
+            )
+        rules.append(descriptor)
+
+    def result_for(finding: Finding, is_suppressed: bool) -> dict[str, object]:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _SARIF_LEVELS.get(finding.rule, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(finding.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": max(1, finding.col),
+                        },
+                    }
+                }
+            ],
+        }
+        if is_suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        return result
+
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": _engine_version(),
+                        "informationUri": (
+                            "https://github.com/repro/repro/blob/main/docs/LINTING.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": [
+                    *(result_for(f, False) for f in findings),
+                    *(result_for(f, True) for f in suppressed),
+                ],
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
 REPORTERS = {
     "text": render_text,
     "json": render_json,
+    "sarif": render_sarif,
 }

@@ -1,0 +1,1 @@
+"""Fixture package: optimizer call-site contract cases (R012)."""

@@ -1,0 +1,15 @@
+"""The contract root the fixture optimizers inherit from."""
+
+import numpy as np
+
+
+class Optimizer:
+    def __init__(self, space, seed=None):
+        self.space = space
+        self.rng = np.random.default_rng(seed)
+
+    def suggest(self, history):
+        raise NotImplementedError
+
+    def observe(self, observation):
+        raise NotImplementedError

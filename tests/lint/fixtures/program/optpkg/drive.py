@@ -1,0 +1,21 @@
+"""R012 call-site cases."""
+
+
+def good_loop(optimizer, history, obs):
+    # negative: canonical call shapes.
+    config = optimizer.suggest(history)
+    optimizer.observe(obs)
+    return config
+
+
+def bad_loop(optimizer, history, obs):
+    # R012: two positional arguments.
+    config = optimizer.suggest(history, 0.5)
+    # R012: a keyword at least one registered optimizer rejects.
+    optimizer.observe(obs, strict=True)
+    return config
+
+
+def unchecked_receiver(thing, history):
+    # negative: the receiver does not look like an optimizer; stay quiet.
+    return thing.suggest(history, 1, 2, 3)

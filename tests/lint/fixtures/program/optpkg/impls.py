@@ -1,0 +1,24 @@
+"""R012 definition-side cases."""
+
+from optpkg.base import Optimizer
+
+
+class GoodOptimizer(Optimizer):
+    # negative: canonical signatures.
+    def suggest(self, history):
+        return {}
+
+    def observe(self, observation):
+        pass
+
+
+class DriftedOptimizer(Optimizer):
+    # R012: an extra required positional argument breaks every driver.
+    def suggest(self, history, temperature):
+        return {}
+
+
+class FlexibleOptimizer(Optimizer):
+    # negative: extra *defaulted* keyword-only params keep the contract.
+    def suggest(self, history, *, warm_start=None):
+        return {}

@@ -1,0 +1,1 @@
+"""Fixture package: checkpoint-schema and clock-flow cases (R013/R014)."""

@@ -1,0 +1,12 @@
+"""A wall-clock helper one module away from the record writer."""
+
+import time
+
+
+def stamp():  # reprolint: disable=R007 fixture clock source for R014
+    return time.time()
+
+
+def duration(start):
+    # negative: perf_counter deltas are run-independent durations.
+    return time.perf_counter() - start

@@ -1,0 +1,42 @@
+"""R013/R014 positive and negative cases."""
+
+from recpkg.clock import duration, stamp
+
+
+def run_to_record(run):
+    record = {
+        "id": run.id,
+        "score": run.score,
+    }
+    # R013: written but never read back.
+    record["extra"] = run.extra
+    return record
+
+
+def record_to_run(record):
+    # R013: reads a field the writer never produces.
+    return (record["id"], record["score"], record.get("missing"))
+
+
+def state_to_record(state):
+    # negative: symmetric, including the conditional field.
+    record = {"cursor": state.cursor}
+    if state.resumed:
+        record["resume_token"] = state.resume_token
+    return record
+
+
+def record_to_state(record):
+    return (record["cursor"], record.get("resume_token"))
+
+
+def run_to_payload(run):
+    payload = {"id": run.id}
+    # R014: wall clock reaches a recorded value through another module.
+    payload["when"] = stamp()
+    return payload
+
+
+def timing_to_payload(run):
+    # negative: durations are fine.
+    return {"id": run.id, "seconds": duration(run.started)}

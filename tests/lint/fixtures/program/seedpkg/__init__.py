@@ -1,0 +1,7 @@
+"""Fixture package: seed-provenance cases for R010/R011.
+
+The re-export below is load-bearing — it exercises symbol resolution
+through ``__init__`` in the program index.
+"""
+
+from seedpkg.flow import GoodTuner

@@ -1,0 +1,39 @@
+"""R010/R011 positive and negative cases."""
+
+import numpy as np
+
+from seedpkg.seeds import derive_seed, unrelated_value
+
+
+class BadTuner:
+    def __init__(self, space, seed=None):
+        self.space = space
+        value = unrelated_value()
+        # R010: a seed is in scope but the sink is fed something with no
+        # provenance from it.
+        self.rng = np.random.default_rng(value)
+
+
+class GoodTuner:
+    def __init__(self, space, seed=None):
+        # negative: provenance flows through a helper in another module.
+        self.rng = np.random.default_rng(derive_seed(seed))
+
+
+class DroppingSampler:
+    def __init__(self, seed=None):
+        # R011: stored to an attribute no code in the package ever reads.
+        self._stashed_seed = seed
+
+
+class ForwardingSampler:
+    def __init__(self, seed=None):
+        # negative: forwarded to a sub-component.
+        self.inner = GoodTuner((), seed=seed)
+
+
+def checked_but_used(seed=None):
+    # negative: the None-check plus a real use.
+    if seed is None:
+        seed = 7
+    return np.random.default_rng(seed)

@@ -1,0 +1,13 @@
+"""Helpers whose return-value taint the fixpoint must classify."""
+
+import numpy as np
+
+
+def derive_seed(seed):
+    """Seed-derived: callers seeding an RNG from this are fine."""
+    return int(np.random.SeedSequence(seed).generate_state(1)[0])
+
+
+def unrelated_value():
+    """No seed provenance at all."""
+    return 41

@@ -132,3 +132,87 @@ def test_clean_file_reports_ok(tmp_path):
     clean.write_text("def f(x):\n    return x + 1\n")
     report = Linter(LintConfig()).lint_file(clean)
     assert report.ok
+
+
+# ----------------------------------------------------------------------
+# multi-code suppressions (regression: only the first code was honored
+# when the list contained whitespace after commas)
+# ----------------------------------------------------------------------
+def test_multi_code_suppression_with_spaces_honors_every_code():
+    source = (
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return np.random.default_rng(), x == 0.5  "
+        "# reprolint: disable=R001, R008 fixture probes both rules\n"
+    )
+    report = Linter(LintConfig()).lint_source(source, "inline.py")
+    assert report.findings == []
+    assert sorted(f.rule for f in report.suppressed) == ["R001", "R008"]
+
+
+def test_multi_code_suppression_scan_tolerates_spaces():
+    suppressions, findings = scan_suppressions(
+        "x.py", ["x = 1  # reprolint: disable=R001 , R003 mixed cleanup"]
+    )
+    assert findings == []
+    assert suppressions[1].codes == frozenset({"R001", "R003"})
+    assert suppressions[1].reason == "mixed cleanup"
+
+
+def test_multi_code_suppression_without_reason_still_r000():
+    # Assembled at runtime so the linter does not read this test file's
+    # own literal as a reason-less suppression comment.
+    line = "x = 1  # reprolint: " + "disable=R001, R003"
+    suppressions, findings = scan_suppressions("x.py", [line])
+    assert suppressions == {}
+    assert [f.rule for f in findings] == ["R000"]
+
+
+# ----------------------------------------------------------------------
+# robustness: BOM / CRLF / null bytes / undecodable files (regression:
+# these crashed the linter with a traceback instead of reporting E001)
+# ----------------------------------------------------------------------
+def test_utf8_bom_file_lints_clean(tmp_path):
+    target = tmp_path / "bom.py"
+    target.write_bytes(b"\xef\xbb\xbfdef f(x):\n    return x + 1\n")
+    report = Linter(LintConfig()).lint_file(target)
+    assert report.findings == []
+
+
+def test_utf8_bom_file_still_reports_real_findings(tmp_path):
+    target = tmp_path / "bom_bad.py"
+    target.write_bytes(b"\xef\xbb\xbfimport numpy as np\nr = np.random.default_rng()\n")
+    report = Linter(LintConfig()).lint_file(target)
+    assert [f.rule for f in report.findings] == ["R001"]
+
+
+def test_crlf_file_lints_clean(tmp_path):
+    target = tmp_path / "crlf.py"
+    target.write_bytes(b"def f(x):\r\n    return x + 1\r\n")
+    report = Linter(LintConfig()).lint_file(target)
+    assert report.findings == []
+
+
+def test_null_byte_file_reports_e001_not_traceback(tmp_path):
+    target = tmp_path / "nulls.py"
+    target.write_bytes(b"x = 1\x00\n")
+    report = Linter(LintConfig()).lint_file(target)
+    assert [f.rule for f in report.findings] == ["E001"]
+
+
+def test_undecodable_file_reports_e001_not_traceback(tmp_path):
+    target = tmp_path / "latin.py"
+    target.write_bytes(b"# caf\xe9\nx = 1\n")
+    report = Linter(LintConfig()).lint_file(target)
+    assert [f.rule for f in report.findings] == ["E001"]
+    assert "cannot read file" in report.findings[0].message
+
+
+def test_lint_source_full_returns_context_and_suppressions():
+    source = "x = 1  # reprolint: disable=R008 fixture\n"
+    report, ctx, suppressions = Linter(LintConfig()).lint_source_full(
+        source, "inline.py"
+    )
+    assert report.findings == []
+    assert ctx is not None and ctx.tree is not None
+    assert suppressions[1].codes == frozenset({"R008"})

@@ -53,3 +53,75 @@ def test_text_report_clean_summary():
     text = render_text(reports_for("r001_neg.py"))
     assert text.startswith("Clean:")
     assert "0 findings" in text
+
+
+# ----------------------------------------------------------------------
+# SARIF 2.1.0
+# ----------------------------------------------------------------------
+def _sarif_for(*names):
+    from repro.lint.reporters import render_sarif
+
+    return json.loads(render_sarif(reports_for(*names)))
+
+
+def _assert_valid_sarif(doc):
+    """Structural validation against the SARIF 2.1.0 schema's required
+    properties (the full JSON Schema needs network access; these are the
+    constraints GitHub code scanning actually enforces)."""
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    assert isinstance(doc["runs"], list) and doc["runs"]
+    for run in doc["runs"]:
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rules = driver.get("rules", [])
+        for rule in rules:
+            assert set(rule) >= {"id", "name"}
+            level = rule["defaultConfiguration"]["level"]
+            assert level in {"none", "note", "warning", "error"}
+        for result in run.get("results", []):
+            assert result["message"]["text"]
+            assert result["level"] in {"none", "note", "warning", "error"}
+            if "ruleIndex" in result:
+                assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            for location in result["locations"]:
+                physical = location["physicalLocation"]
+                uri = physical["artifactLocation"]["uri"]
+                assert "\\" not in uri
+                region = physical["region"]
+                assert region["startLine"] >= 1
+                assert region["startColumn"] >= 1
+            for suppression in result.get("suppressions", []):
+                assert suppression["kind"] in {"inSource", "external"}
+
+
+def test_sarif_is_structurally_valid():
+    _assert_valid_sarif(_sarif_for("r001_pos.py", "r005_pos.py", "r001_neg.py"))
+
+
+def test_sarif_reports_each_finding_with_rule_descriptor():
+    doc = _sarif_for("r001_pos.py")
+    run = doc["runs"][0]
+    assert any(r["id"] == "R001" for r in run["tool"]["driver"]["rules"])
+    active = [r for r in run["results"] if "suppressions" not in r]
+    assert active and all(r["ruleId"].startswith(("R", "E")) for r in active)
+
+
+def test_sarif_marks_suppressed_findings_in_source():
+    doc = _sarif_for("suppression_ok.py")
+    run = doc["runs"][0]
+    suppressed = [r for r in run["results"] if "suppressions" in r]
+    assert len(suppressed) == 2
+    _assert_valid_sarif(doc)
+
+
+def test_sarif_empty_report_is_valid():
+    doc = _sarif_for("r001_neg.py")
+    assert doc["runs"][0]["results"] == []
+    _assert_valid_sarif(doc)
+
+
+def test_sarif_registered_in_reporters():
+    from repro.lint.reporters import REPORTERS
+
+    assert set(REPORTERS) == {"text", "json", "sarif"}
