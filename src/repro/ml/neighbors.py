@@ -16,6 +16,7 @@ class KNNRegressor:
         self.n_neighbors = n_neighbors
         self.weights = weights
         self._X: np.ndarray | None = None
+        self._x_sq: np.ndarray | None = None
         self._y: np.ndarray | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNRegressor":
@@ -26,12 +27,17 @@ class KNNRegressor:
         if len(X) == 0:
             raise ValueError("cannot fit on empty data")
         self._X = X
+        # The train-side term of the pairwise distance expansion is
+        # query-independent: compute it once here instead of once per
+        # prediction block.
+        self._x_sq = np.sum(X**2, axis=1)
         self._y = y
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self._X is None or self._y is None:
             raise RuntimeError("model is not fitted")
+        assert self._x_sq is not None
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X[None, :]
@@ -44,14 +50,14 @@ class KNNRegressor:
             d2 = (
                 np.sum(chunk**2, axis=1)[:, None]
                 - 2.0 * chunk @ self._X.T
-                + np.sum(self._X**2, axis=1)[None, :]
+                + self._x_sq[None, :]
             )
             np.maximum(d2, 0.0, out=d2)
             nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
-            rows = np.arange(len(chunk))[:, None]
             if self.weights == "uniform":
                 out[start : start + block] = self._y[nn].mean(axis=1)
             else:
+                rows = np.arange(len(chunk))[:, None]
                 w = 1.0 / (np.sqrt(d2[rows, nn]) + 1e-12)
                 out[start : start + block] = (w * self._y[nn]).sum(axis=1) / w.sum(axis=1)
         return out

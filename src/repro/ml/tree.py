@@ -7,6 +7,17 @@ arrays) because downstream algorithms need more than predictions:
 - fANOVA decomposes the tree's variance by marginalizing subsets of
   features over the leaf partition (Hutter et al., 2014),
 - SMAC's surrogate needs per-tree predictions to form an ensemble variance.
+
+Two split-search implementations coexist, selected by ``accelerated``
+(default on): a scalar reference that argsorts every candidate feature
+at every node, and a fast path that sorts each feature once per tree and
+propagates the order down via stable partitions, scanning all candidate
+features of a node in one cumulative-sum matrix pass.  Both center the
+node labels before the prefix-sum score whenever the labels' common
+offset dwarfs their in-node spread (large offsets would otherwise
+cancel catastrophically in ``sum**2/n`` arithmetic; well-scaled labels
+keep the historical arithmetic bit-for-bit) and both produce
+byte-identical trees — proven in ``tests/ml/test_tree_bit_identity.py``.
 """
 
 from __future__ import annotations
@@ -16,7 +27,29 @@ from typing import Any
 
 import numpy as np
 
+from repro.perf.treefast import full_sort_orders
+
 _NO_CHILD = -1
+#: Minimum SSE reduction for a split to be accepted.
+_MIN_GAIN = 1e-12
+#: Offset-to-spread ratio beyond which the split scan centers the labels.
+_CENTERING_RATIO = 1e4
+
+
+def _needs_centering(y: np.ndarray) -> bool:
+    """True when the node labels' common offset dwarfs their spread.
+
+    The split score compares ``sum**2 / count`` terms whose *differences*
+    shrink quadratically in the offset-to-spread ratio: at ratio r the
+    score difference keeps roughly ``16 - 2*log10(r)`` significant
+    digits, so beyond ~1e4 (e.g. throughput labels around 1e8 with
+    noise around 1e2) the split signal drowns in cancellation and the
+    scan must run on centered labels.  Below the threshold the score
+    difference still carries >= 8 digits, and keeping the uncentered
+    arithmetic preserves the reference trajectories bit-for-bit.
+    """
+    spread = float(y.max()) - float(y.min())
+    return abs(float(y.mean())) > _CENTERING_RATIO * spread
 
 
 class DecisionTreeRegressor:
@@ -37,6 +70,9 @@ class DecisionTreeRegressor:
         a fraction to decorrelate trees.
     seed:
         Seed for the feature subsampling RNG.
+    accelerated:
+        Use the presorted, matrix-scan split search (default).  Produces
+        the same tree byte-for-byte as the scalar reference path.
     """
 
     def __init__(
@@ -46,6 +82,7 @@ class DecisionTreeRegressor:
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = None,
         seed: int | None = None,
+        accelerated: bool = True,
     ) -> None:
         if min_samples_split < 2:
             raise ValueError("min_samples_split must be >= 2")
@@ -56,6 +93,7 @@ class DecisionTreeRegressor:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.seed = seed
+        self.accelerated = accelerated
 
         # Flat tree structure (filled by fit).
         self.feature: np.ndarray | None = None
@@ -65,6 +103,10 @@ class DecisionTreeRegressor:
         self.value: np.ndarray | None = None
         self.n_node_samples: np.ndarray | None = None
         self.impurity_decrease: np.ndarray | None = None
+        #: Leaf node id of each *training* sample (filled by fit); lets
+        #: ensembles reuse the fit-time partition for in-sample
+        #: prediction instead of re-descending the tree.
+        self.train_node_ids_: np.ndarray | None = None
         self.n_features_: int = 0
 
     # ------------------------------------------------------------------
@@ -92,8 +134,15 @@ class DecisionTreeRegressor:
 
         Uses prefix sums over the sorted column: for a split after position
         ``i`` (1-based count), reduction = sum_sq_total - (left SSE + right
-        SSE), which only depends on partial sums of y and y^2.
+        SSE), which only depends on partial sums of y and y^2.  When the
+        labels carry a common offset far above their spread (see
+        :func:`_needs_centering`) they are centered on the node mean
+        first — centering changes no SSE reduction mathematically but
+        removes the offset that would otherwise cancel away the score
+        differences.
         """
+        if _needs_centering(y):
+            y = y - y.mean()
         order = np.argsort(x, kind="stable")
         xs, ys = x[order], y[order]
         n = len(ys)
@@ -121,7 +170,20 @@ class DecisionTreeRegressor:
         threshold = float(0.5 * (xs[pos - 1] + xs[pos]))
         return reduction, threshold
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sort_order: np.ndarray | None = None,
+    ) -> "DecisionTreeRegressor":
+        """Fit the tree.
+
+        ``sort_order`` is an optional ``(d, n)`` matrix of per-feature
+        stable sort orders (see :func:`repro.perf.treefast.full_sort_orders`)
+        that ensembles precompute so bootstrap resamples and boosting
+        rounds never re-sort the float columns.  Only consulted on the
+        accelerated path; when omitted it is computed here, once.
+        """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
         if X.ndim != 2:
@@ -130,8 +192,14 @@ class DecisionTreeRegressor:
             raise ValueError("X and y length mismatch")
         if len(X) == 0:
             raise ValueError("cannot fit on empty data")
+        self.n_features_ = X.shape[1]
+        if self.accelerated:
+            return self._fit_fast(X, y, sort_order)
+        return self._fit_scalar(X, y)
+
+    def _fit_scalar(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        """Reference implementation: per-node, per-feature argsort."""
         n, d = X.shape
-        self.n_features_ = d
         rng = np.random.default_rng(self.seed)
 
         feature: list[int] = []
@@ -141,6 +209,7 @@ class DecisionTreeRegressor:
         value: list[float] = []
         n_node: list[int] = []
         decrease: list[float] = []
+        node_of = np.zeros(n, dtype=int)
 
         k_features = self._n_candidate_features(d)
 
@@ -178,7 +247,7 @@ class DecisionTreeRegressor:
                 )
                 if gain > best_gain and not math.isnan(thr):
                     best_gain, best_feat, best_thr = gain, int(f), thr
-            if best_feat < 0 or best_gain <= 1e-12:
+            if best_feat < 0 or best_gain <= _MIN_GAIN:
                 continue
             mask = X[idx, best_feat] <= best_thr
             left_idx, right_idx = idx[mask], idx[~mask]
@@ -191,9 +260,150 @@ class DecisionTreeRegressor:
             r_node = new_node(right_idx)
             left[node] = l_node
             right[node] = r_node
+            node_of[left_idx] = l_node
+            node_of[right_idx] = r_node
             stack.append((l_node, left_idx, depth + 1))
             stack.append((r_node, right_idx, depth + 1))
 
+        self._store(feature, threshold, left, right, value, n_node, decrease, node_of)
+        return self
+
+    def _fit_fast(
+        self, X: np.ndarray, y: np.ndarray, sort_order: np.ndarray | None
+    ) -> "DecisionTreeRegressor":
+        """Presorted split search with a vectorized multi-feature scan.
+
+        Mirrors :meth:`_fit_scalar` node for node (same DFS order, same
+        RNG stream, same tie-breaking) but never argsorts inside a node:
+        the root's per-feature sort orders are partitioned stably into
+        the children, which preserves sortedness, and all candidate
+        features of a node are scanned in one cumulative-sum matrix.
+        The node's samples are always in ascending original-row order,
+        so stable partition exactly reproduces the scalar path's
+        stable per-node argsort.
+        """
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+        min_leaf = self.min_samples_leaf
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        n_node: list[int] = []
+        decrease: list[float] = []
+        node_of = np.zeros(n, dtype=int)
+
+        k_features = self._n_candidate_features(d)
+        all_features = np.arange(d)
+        if sort_order is None:
+            sort_order = full_sort_orders(X)
+        # Scratch flag buffer for the stable partitions (reset after use).
+        flags = np.zeros(n, dtype=bool)
+
+        def new_node(idx: np.ndarray) -> int:
+            node = len(feature)
+            feature.append(_NO_CHILD)
+            threshold.append(math.nan)
+            left.append(_NO_CHILD)
+            right.append(_NO_CHILD)
+            value.append(float(y[idx].mean()))
+            n_node.append(len(idx))
+            decrease.append(0.0)
+            return node
+
+        root = new_node(np.arange(n))
+        stack: list[tuple[int, np.ndarray, np.ndarray, int]] = [
+            (root, np.arange(n), sort_order, 0)
+        ]
+        while stack:
+            node, idx, orders, depth = stack.pop()
+            m = len(idx)
+            if m < self.min_samples_split:
+                continue
+            if self.max_depth is not None and depth >= self.max_depth:
+                continue
+            y_node = y[idx]
+            if np.all(y_node == y_node[0]):
+                continue
+            if k_features < d:
+                candidates = rng.choice(d, size=k_features, replace=False)
+            else:
+                candidates = all_features
+            positions = np.arange(min_leaf, m - min_leaf + 1)
+            if len(positions) == 0:
+                continue
+            # One (k, m) pass over all candidate features: rows are the
+            # node's samples in that feature's sorted order.
+            rows = orders[candidates]
+            xs = X[rows, candidates[:, None]]
+            ys = y[rows]
+            if _needs_centering(y_node):
+                ys = ys - y_node.mean()
+            csum = np.cumsum(ys, axis=1)
+            total = csum[:, -1]
+            valid = xs[:, positions - 1] < xs[:, positions]
+            left_sum = csum[:, positions - 1]
+            right_sum = total[:, None] - left_sum
+            n_left = positions.astype(float)
+            n_right = m - n_left
+            score = left_sum**2 / n_left + right_sum**2 / n_right
+            per_row = np.arange(len(candidates))
+            best_pos = np.argmax(np.where(valid, score, -np.inf), axis=1)
+            has_split = valid[per_row, best_pos]
+            # The reference arm squares ``total`` as a numpy *scalar*,
+            # which routes through libm pow and can land one ULP away
+            # from the exact product that the array square (x*x)
+            # produces.  Near-tie feature choices hinge on those low
+            # bits, so reproduce the scalar power op element by element.
+            base = np.array([t**2 for t in total.tolist()]) / m
+            gains = np.where(has_split, score[per_row, best_pos] - base, -np.inf)
+            j = int(np.argmax(gains))
+            best_gain = float(gains[j])
+            if best_gain <= _MIN_GAIN:
+                continue
+            pos = positions[best_pos[j]]
+            best_feat = int(candidates[j])
+            best_thr = float(0.5 * (xs[j, pos - 1] + xs[j, pos]))
+            mask = X[idx, best_feat] <= best_thr
+            left_idx, right_idx = idx[mask], idx[~mask]
+            if len(left_idx) < min_leaf or len(right_idx) < min_leaf:
+                continue
+            # Stable partition of every feature's sorted order into the
+            # children: each row keeps exactly len(left_idx) members, so
+            # the boolean gather reshapes back to (d, child size).
+            flags[left_idx] = True
+            member = flags[orders]
+            left_orders = orders[member].reshape(d, len(left_idx))
+            right_orders = orders[~member].reshape(d, len(right_idx))
+            flags[left_idx] = False
+            feature[node] = best_feat
+            threshold[node] = best_thr
+            decrease[node] = best_gain
+            l_node = new_node(left_idx)
+            r_node = new_node(right_idx)
+            left[node] = l_node
+            right[node] = r_node
+            node_of[left_idx] = l_node
+            node_of[right_idx] = r_node
+            stack.append((l_node, left_idx, left_orders, depth + 1))
+            stack.append((r_node, right_idx, right_orders, depth + 1))
+
+        self._store(feature, threshold, left, right, value, n_node, decrease, node_of)
+        return self
+
+    def _store(
+        self,
+        feature: list[int],
+        threshold: list[float],
+        left: list[int],
+        right: list[int],
+        value: list[float],
+        n_node: list[int],
+        decrease: list[float],
+        node_of: np.ndarray,
+    ) -> None:
         self.feature = np.array(feature, dtype=int)
         self.threshold = np.array(threshold, dtype=float)
         self.left = np.array(left, dtype=int)
@@ -201,7 +411,7 @@ class DecisionTreeRegressor:
         self.value = np.array(value, dtype=float)
         self.n_node_samples = np.array(n_node, dtype=int)
         self.impurity_decrease = np.array(decrease, dtype=float)
-        return self
+        self.train_node_ids_ = node_of
 
     # ------------------------------------------------------------------
     def _check_fitted(self) -> None:
@@ -304,4 +514,5 @@ class DecisionTreeRegressor:
             "min_samples_leaf": self.min_samples_leaf,
             "max_features": self.max_features,
             "seed": self.seed,
+            "accelerated": self.accelerated,
         }

@@ -1,27 +1,47 @@
-"""GP/BO hot-path acceleration primitives and the tracked benchmark harness.
+"""Surrogate hot-path acceleration primitives and the tracked benchmark harness.
 
-Every optimizer study in the paper spends its wall-clock inside the GP
-surrogate: ``_GPBasedBO.suggest`` refits the GP from scratch each
-iteration, which is the cubic algorithm-overhead growth the paper
-*measures* in Figure 9 — but the implementation overhead on top of the
-mathematically necessary O(n^3) is pure waste.  This package holds the
-pieces that remove it:
+Every optimizer study in the paper spends its wall-clock inside a
+surrogate model.  This package holds the machinery that removes the
+*implementation* overhead from those hot paths — never changing a single
+output bit:
 
 - :mod:`repro.perf.cache` — :class:`KernelCache`, a per-fit store for
   theta-independent pairwise structures (squared distances, Hamming
   mismatch counts) reused across the ~120 log-marginal-likelihood
-  evaluations one L-BFGS-B hyperparameter fit performs.  Bit-identical
-  to the uncached path by construction.
+  evaluations one L-BFGS-B GP hyperparameter fit performs (layer 1).
 - :mod:`repro.perf.incremental` — :func:`cholesky_append`, the O(n^2)
-  bordered-Cholesky update behind the GP's opt-in incremental refit.
+  bordered-Cholesky update behind the GP's opt-in incremental refit
+  (layer 2).
+- :mod:`repro.perf.treefast` — the tree-ensemble fast path (layer 2b):
+  once-per-dataset feature presorting with integer rank keys
+  (:func:`feature_sort_ranks` / :func:`subset_sort_orders`) reused
+  across every bootstrap resample and boosting round, and
+  :class:`PackedTrees`, the batched whole-ensemble descent behind
+  forest/GBM prediction (native kernel when a C toolchain exists,
+  vectorized numpy otherwise).
 - :mod:`repro.perf.bench` — ``python -m repro.perf.bench``, the
-  microbenchmark harness that times GP fit/predict, candidate-pool
-  construction, and one steady-state BO iteration at several history
-  sizes and emits ``benchmarks/perf/BENCH_PR4.json`` so the perf
-  trajectory is tracked from PR 4 onward (see ``docs/PERFORMANCE.md``).
+  microbenchmark harness timing GP fit/predict, candidate-pool
+  construction, BO/SMAC/TPE iterations, and forest/GBM fit/predict in
+  baseline vs optimized arms; emits ``benchmarks/perf/BENCH_PR9.json``
+  so the perf trajectory is tracked in-repo from PR 4 onward (see
+  ``docs/PERFORMANCE.md``), and diffs tracked payloads via
+  ``--compare``.
 """
 
 from repro.perf.cache import KernelCache
 from repro.perf.incremental import cholesky_append
+from repro.perf.treefast import (
+    PackedTrees,
+    feature_sort_ranks,
+    full_sort_orders,
+    subset_sort_orders,
+)
 
-__all__ = ["KernelCache", "cholesky_append"]
+__all__ = [
+    "KernelCache",
+    "cholesky_append",
+    "PackedTrees",
+    "feature_sort_ranks",
+    "full_sort_orders",
+    "subset_sort_orders",
+]

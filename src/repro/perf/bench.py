@@ -1,6 +1,6 @@
-"""Microbenchmark harness for the GP/BO hot path (``python -m repro.perf.bench``).
+"""Microbenchmark harness for the surrogate hot paths (``python -m repro.perf.bench``).
 
-Times the four operations the paper's optimizer studies spend their
+Times the operations the paper's optimizer studies spend their
 wall-clock in, at several history sizes, in two arms each:
 
 ==================  =====================================================
@@ -12,16 +12,31 @@ wall-clock in, at several history sizes, in two arms each:
                     categorical, linear/log) space.
 ``bo_iteration``    One steady-state BO iteration at history size ``n``:
                     surrogate (re)build plus acquisition maximization.
+``forest_fit``      SMAC-shaped random forest (20 trees, 0.8 features)
+                    fit on an ``(n, 197)`` training set — the paper's
+                    full-knob dimensionality.
+``forest_predict``  ``predict_with_std`` (SMAC's mu/sigma) for a
+                    candidate batch against a forest trained at the
+                    largest history size.
+``gbm_fit``         Gradient-boosted trees (Table 9 surrogate config)
+                    fit on an ``(n, 197)`` training set.
+``smac_iteration``  One non-interleaved SMAC suggest at history ``n``:
+                    forest refit, local search, 512 random candidates.
+``tpe_iteration``   One TPE suggest at history ``n``: good/bad Parzens,
+                    64 candidates, l/g ranking.
 ==================  =====================================================
 
-The **baseline** arm reproduces the pre-acceleration implementation
+The **baseline** arm reproduces the pre-acceleration implementations
 (``accelerated=False``: no distance caching, per-row decode/encode snap
-loop, from-scratch refit each iteration); the **optimized** arm enables
-the default-on layer plus — for ``bo_iteration`` only — the opt-in
-incremental Cholesky append and warm-started refit schedule.  Results are
-written as JSON (default ``benchmarks/perf/BENCH_PR4.json``) so the perf
-trajectory is tracked in-repo from PR 4 onward; ``--validate`` checks an
-existing file against the schema without re-running anything.
+loop, from-scratch refit each iteration, per-node argsort split search,
+per-tree prediction loops, per-dimension KDE evaluation); the
+**optimized** arm enables the default-on layers plus — for
+``bo_iteration`` only — the opt-in incremental Cholesky append and
+warm-started refit schedule.  Results are written as JSON (default
+``benchmarks/perf/BENCH_PR9.json``) so the perf trajectory is tracked
+in-repo from PR 4 onward; ``--validate`` checks an existing file against
+the schema without re-running anything, and ``--compare OLD NEW`` diffs
+two tracked payloads cell by cell.
 
 All entropy derives from the explicit ``--seed``; no wall-clock state
 enters the payload (durations come from ``time.perf_counter``).
@@ -40,23 +55,40 @@ from typing import Any, Callable, Sequence
 import numpy as np
 import scipy
 
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
 from repro.ml.gp import GaussianProcessRegressor
 from repro.ml.kernels import ConstantKernel, RBFKernel
 from repro.optimizers.base import History, Observation
 from repro.optimizers.bo import VanillaBO
+from repro.optimizers.smac import SMAC
+from repro.optimizers.tpe import TPE
 from repro.space import ConfigurationSpace
 from repro.space.parameter import CategoricalKnob, ContinuousKnob, IntegerKnob
 
 SCHEMA_VERSION = 1
 DEFAULT_SIZES = (25, 50, 100, 200)
 SMOKE_SIZES = (10, 20)
-DEFAULT_OUT = "benchmarks/perf/BENCH_PR4.json"
+DEFAULT_OUT = "benchmarks/perf/BENCH_PR9.json"
 DEFAULT_SEED = 17
 DEFAULT_REPEATS = 3
 POOL_ROWS = 1280
 PREDICT_ROWS = 1024
 GP_DIMS = 12
-OPS = ("gp_fit", "gp_predict", "candidate_pool", "bo_iteration")
+#: PostgreSQL's full knob count (paper §4) — the tree-ensemble suites
+#: run at the dimensionality the SMAC surrogate actually faces.
+FOREST_DIMS = 197
+OPS = (
+    "gp_fit",
+    "gp_predict",
+    "candidate_pool",
+    "bo_iteration",
+    "forest_fit",
+    "forest_predict",
+    "gbm_fit",
+    "smac_iteration",
+    "tpe_iteration",
+)
 
 
 def bench_space() -> ConfigurationSpace:
@@ -169,6 +201,91 @@ def _bo_iteration_seconds(
     return perf_counter() - start
 
 
+def _forest_data(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, FOREST_DIMS))
+    y = np.sin(3.0 * X[:, 0]) + X[:, 1] ** 2 + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+def _bench_forest(seed: int, accelerated: bool) -> RandomForestRegressor:
+    """SMAC's surrogate shape (see ``SMAC._fit_surrogate``)."""
+    return RandomForestRegressor(
+        n_estimators=20,
+        max_features=0.8,
+        min_samples_leaf=1,
+        min_samples_split=3,
+        bootstrap=True,
+        seed=seed,
+        accelerated=accelerated,
+    )
+
+
+def _forest_fit_seconds(n: int, seed: int, accelerated: bool) -> float:
+    X, y = _forest_data(n, seed)
+    forest = _bench_forest(seed, accelerated)
+    start = perf_counter()
+    forest.fit(X, y)
+    return perf_counter() - start
+
+
+def _forest_predict_seconds(n: int, rows: int, seed: int, accelerated: bool) -> float:
+    # The trees are identical in both arms (bit-identity is tested), so
+    # fit once on the fast path and flip the flag for the baseline
+    # timing arm; only prediction is timed.
+    X, y = _forest_data(n, seed)
+    forest = _bench_forest(seed, True).fit(X, y)
+    forest.accelerated = accelerated
+    X_test = np.random.default_rng(seed + 1).random((rows, FOREST_DIMS))
+    forest.predict_with_std(X_test)  # untimed warm-up (packs trees, loads kernel)
+    start = perf_counter()
+    forest.predict_with_std(X_test)
+    return perf_counter() - start
+
+
+def _gbm_fit_seconds(n: int, seed: int, accelerated: bool) -> float:
+    X, y = _forest_data(n, seed)
+    # The tuning benchmark's GB surrogate config (Table 9).
+    gbm = GradientBoostingRegressor(
+        n_estimators=150,
+        learning_rate=0.08,
+        max_depth=4,
+        seed=seed,
+        accelerated=accelerated,
+    )
+    start = perf_counter()
+    gbm.fit(X, y)
+    return perf_counter() - start
+
+
+def _smac_iteration_seconds(
+    space: ConfigurationSpace, n: int, seed: int, accelerated: bool
+) -> float:
+    history = _synthetic_history(space, n, seed)
+    # random_interleave_prob=0 so the timed call always takes the
+    # model-based path (an interleaved iteration is a no-op to time).
+    optimizer = SMAC(space, seed=seed, random_interleave_prob=0.0, accelerated=accelerated)
+    config = optimizer.suggest(history)  # untimed warm-up
+    score = _surface_score(space.encode(config))
+    history.append(Observation(config=config, objective=score, score=score))
+    start = perf_counter()
+    optimizer.suggest(history)
+    return perf_counter() - start
+
+
+def _tpe_iteration_seconds(
+    space: ConfigurationSpace, n: int, seed: int, accelerated: bool
+) -> float:
+    history = _synthetic_history(space, n, seed)
+    optimizer = TPE(space, seed=seed, accelerated=accelerated)
+    config = optimizer.suggest(history)  # untimed warm-up
+    score = _surface_score(space.encode(config))
+    history.append(Observation(config=config, objective=score, score=score))
+    start = perf_counter()
+    optimizer.suggest(history)
+    return perf_counter() - start
+
+
 # ----------------------------------------------------------------------
 def run_bench(
     sizes: Sequence[int] = DEFAULT_SIZES,
@@ -199,10 +316,19 @@ def run_bench(
         cell("gp_fit", n, lambda acc, n=n: _gp_fit_seconds(n, seed, acc))
         cell("gp_predict", n, lambda acc, n=n: _gp_predict_seconds(n, seed, acc))
         cell("bo_iteration", n, lambda acc, n=n: _bo_iteration_seconds(space, n, seed, acc))
+        cell("forest_fit", n, lambda acc, n=n: _forest_fit_seconds(n, seed, acc))
+        cell("gbm_fit", n, lambda acc, n=n: _gbm_fit_seconds(n, seed, acc))
+        cell("smac_iteration", n, lambda acc, n=n: _smac_iteration_seconds(space, n, seed, acc))
+        cell("tpe_iteration", n, lambda acc, n=n: _tpe_iteration_seconds(space, n, seed, acc))
     cell(
         "candidate_pool",
         pool_rows,
         lambda acc: _candidate_pool_seconds(space, pool_rows, seed, acc),
+    )
+    cell(
+        "forest_predict",
+        pool_rows,
+        lambda acc: _forest_predict_seconds(max(sizes), pool_rows, seed, acc),
     )
 
     summary: dict[str, float] = {}
@@ -215,7 +341,7 @@ def run_bench(
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "repro.perf.bench",
-        "pr": "PR4",
+        "pr": "PR9",
         "seed": seed,
         "smoke": smoke,
         "repeats": repeats,
@@ -289,6 +415,64 @@ def validate_payload(payload: Any) -> list[str]:
     return errors
 
 
+def compare_payloads(
+    old: dict[str, Any], new: dict[str, Any]
+) -> tuple[list[str], list[dict[str, Any]]]:
+    """Diff two tracked bench payloads cell by cell.
+
+    Returns ``(errors, rows)``.  Errors cover schema violations in
+    either payload, benchmark-suite mismatches, and an empty cell
+    intersection; rows (one per common ``(op, n)`` cell, in ``OPS``
+    order) carry both optimized timings and their ratio.  Ops present in
+    only one payload are fine — trajectories grow suites over time — as
+    long as at least one cell overlaps.
+    """
+    errors: list[str] = []
+    for label, payload in (("old", old), ("new", new)):
+        errors.extend(f"{label}: {e}" for e in validate_payload(payload))
+    if errors:
+        return errors, []
+    if old.get("benchmark") != new.get("benchmark"):
+        return [
+            f"benchmark suite mismatch: {old.get('benchmark')!r} vs {new.get('benchmark')!r}"
+        ], []
+    old_cells = {(r["op"], r["n"]): r for r in old["results"]}
+    new_cells = {(r["op"], r["n"]): r for r in new["results"]}
+    common = sorted(
+        set(old_cells) & set(new_cells), key=lambda key: (OPS.index(key[0]), key[1])
+    )
+    if not common:
+        return ["no common (op, n) cells between the payloads"], []
+    rows = []
+    for key in common:
+        before, after = old_cells[key], new_cells[key]
+        rows.append(
+            {
+                "op": key[0],
+                "n": key[1],
+                "old_optimized_seconds": before["optimized_seconds"],
+                "new_optimized_seconds": after["optimized_seconds"],
+                "ratio": before["optimized_seconds"] / after["optimized_seconds"]
+                if after["optimized_seconds"] > 0
+                else float("inf"),
+            }
+        )
+    return [], rows
+
+
+def _format_compare(rows: list[dict[str, Any]]) -> str:
+    lines = [
+        f"{'op':<16}{'n':>7}{'old opt (s)':>15}{'new opt (s)':>15}{'old/new':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['op']:<16}{row['n']:>7}"
+            f"{row['old_optimized_seconds']:>15.6f}{row['new_optimized_seconds']:>15.6f}"
+            f"{row['ratio']:>9.2f}x"
+        )
+    return "\n".join(lines)
+
+
 def _format_report(payload: dict[str, Any]) -> str:
     lines = [
         f"repro.perf.bench (seed={payload['seed']}, repeats={payload['repeats']}, "
@@ -335,7 +519,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="validate an existing payload against the schema and exit",
     )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="diff two tracked payloads cell by cell and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.compare is not None:
+        payloads = []
+        for path in args.compare:
+            try:
+                payloads.append(json.loads(Path(path).read_text()))
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"cannot read payload {path}: {exc}", file=sys.stderr)
+                return 2
+        errors, rows = compare_payloads(payloads[0], payloads[1])
+        if errors:
+            for error in errors:
+                print(f"compare error: {error}", file=sys.stderr)
+            return 1
+        print(f"comparing {args.compare[0]} (old) vs {args.compare[1]} (new)")
+        print(_format_compare(rows))
+        return 0
 
     if args.validate is not None:
         try:

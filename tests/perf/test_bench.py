@@ -90,10 +90,94 @@ def test_cli_validate_missing_file(tmp_path, capsys):
     assert "cannot read" in capsys.readouterr().err
 
 
-def test_tracked_payload_is_valid():
-    """The committed BENCH_PR4.json must always pass its own schema."""
+@pytest.mark.parametrize("name", ["BENCH_PR4.json", "BENCH_PR9.json"])
+def test_tracked_payload_is_valid(name):
+    """Committed trajectory payloads must always pass the current schema."""
     from pathlib import Path
 
-    tracked = Path(__file__).resolve().parents[2] / "benchmarks" / "perf" / "BENCH_PR4.json"
-    assert tracked.exists(), "benchmarks/perf/BENCH_PR4.json is missing"
+    tracked = Path(__file__).resolve().parents[2] / "benchmarks" / "perf" / name
+    assert tracked.exists(), f"benchmarks/perf/{name} is missing"
     assert bench.validate_payload(json.loads(tracked.read_text())) == []
+
+
+def test_tracked_trajectory_is_comparable():
+    """PR4 -> PR9 must diff cleanly: same suite, overlapping cells."""
+    from pathlib import Path
+
+    perf_dir = Path(__file__).resolve().parents[2] / "benchmarks" / "perf"
+    old = json.loads((perf_dir / "BENCH_PR4.json").read_text())
+    new = json.loads((perf_dir / "BENCH_PR9.json").read_text())
+    errors, rows = bench.compare_payloads(old, new)
+    assert errors == []
+    compared_ops = {row["op"] for row in rows}
+    assert {"gp_fit", "gp_predict", "bo_iteration", "candidate_pool"} <= compared_ops
+    assert all(row["ratio"] > 0 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# --compare mode
+# ----------------------------------------------------------------------
+def test_compare_identical_payloads(payload):
+    errors, rows = bench.compare_payloads(payload, payload)
+    assert errors == []
+    assert {(r["op"], r["n"]) for r in rows} == {
+        (r["op"], r["n"]) for r in payload["results"]
+    }
+    assert all(r["ratio"] == pytest.approx(1.0) for r in rows)
+
+
+def test_compare_subset_of_ops_is_fine(payload):
+    # Trajectories grow suites over time: an old payload missing the new
+    # ops still compares on the intersection.
+    old = json.loads(json.dumps(payload))
+    old["results"] = [r for r in old["results"] if r["op"] in ("gp_fit", "gp_predict")]
+    errors, rows = bench.compare_payloads(old, payload)
+    assert errors == []
+    assert {r["op"] for r in rows} == {"gp_fit", "gp_predict"}
+
+
+def test_compare_rejects_schema_violations(payload):
+    broken = json.loads(json.dumps(payload))
+    broken.pop("results")
+    errors, rows = bench.compare_payloads(broken, payload)
+    assert rows == []
+    assert any("old" in e and "results" in e for e in errors)
+
+
+def test_compare_rejects_suite_mismatch(payload):
+    other = json.loads(json.dumps(payload))
+    other["benchmark"] = "somebody.elses.bench"
+    errors, rows = bench.compare_payloads(payload, other)
+    assert rows == []
+    assert any("suite mismatch" in e for e in errors)
+
+
+def test_compare_rejects_disjoint_cells(payload):
+    shifted = json.loads(json.dumps(payload))
+    for row in shifted["results"]:
+        row["n"] += 1
+    errors, rows = bench.compare_payloads(payload, shifted)
+    assert rows == []
+    assert any("no common" in e for e in errors)
+
+
+def test_cli_compare_round_trip(tmp_path, capsys, payload):
+    path = tmp_path / "payload.json"
+    path.write_text(json.dumps(payload))
+    assert bench.main(["--compare", str(path), str(path)]) == 0
+    assert "old/new" in capsys.readouterr().out
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys, payload):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(payload))
+    missing = tmp_path / "nope.json"
+    assert bench.main(["--compare", str(missing), str(good)]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    malformed = tmp_path / "malformed.json"
+    malformed.write_text("{not json")
+    assert bench.main(["--compare", str(malformed), str(good)]) == 2
+    bad_schema = tmp_path / "bad.json"
+    bad_schema.write_text(json.dumps({"schema_version": 0}))
+    assert bench.main(["--compare", str(bad_schema), str(good)]) == 1
+    assert "compare error" in capsys.readouterr().err
